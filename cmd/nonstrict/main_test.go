@@ -1,0 +1,131 @@
+package main
+
+import (
+	"net"
+	"strings"
+	"testing"
+)
+
+// capture runs one subcommand and returns its output.
+func capture(t *testing.T, cmd string, args ...string) string {
+	t.Helper()
+	var b strings.Builder
+	if err := dispatch(cmd, args, &b); err != nil {
+		t.Fatalf("%s %v: %v", cmd, args, err)
+	}
+	return b.String()
+}
+
+func TestList(t *testing.T) {
+	out := capture(t, "list")
+	for _, name := range []string{"BIT", "Hanoi", "JavaCup", "Jess", "JHLZip", "TestDes"} {
+		if !strings.Contains(out, name) {
+			t.Errorf("list missing %s", name)
+		}
+	}
+}
+
+func TestRun(t *testing.T) {
+	out := capture(t, "run", "Hanoi")
+	if !strings.Contains(out, "self-check: ok") {
+		t.Errorf("run output missing self-check:\n%s", out)
+	}
+	out = capture(t, "run", "Hanoi", "-train")
+	if !strings.Contains(out, "dynamic instructions") {
+		t.Errorf("train run output wrong:\n%s", out)
+	}
+	var b strings.Builder
+	if err := dispatch("run", []string{"Nope"}, &b); err == nil {
+		t.Error("run of unknown benchmark succeeded")
+	}
+}
+
+func TestStatsAndLatency(t *testing.T) {
+	out := capture(t, "stats")
+	for _, want := range []string{"Table 1", "Table 2", "Table 3", "Jess"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("stats missing %q", want)
+		}
+	}
+	out = capture(t, "latency")
+	if !strings.Contains(out, "Table 4") || !strings.Contains(out, "AVG") {
+		t.Errorf("latency output wrong:\n%s", out)
+	}
+}
+
+func TestTablesSelection(t *testing.T) {
+	out := capture(t, "tables", "-t", "8,9")
+	if !strings.Contains(out, "Table 8") || !strings.Contains(out, "Table 9") {
+		t.Error("selected tables missing")
+	}
+	if strings.Contains(out, "Table 5") {
+		t.Error("unselected table printed")
+	}
+}
+
+func TestSim(t *testing.T) {
+	out := capture(t, "sim", "Hanoi", "-order", "test", "-engine", "interleaved", "-link", "t1", "-mode", "partitioned")
+	for _, want := range []string{"invocation latency", "normalized", "strict baseline"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("sim output missing %q:\n%s", want, out)
+		}
+	}
+	// Flag validation.
+	for _, bad := range [][]string{
+		{"Hanoi", "-order", "zzz"},
+		{"Hanoi", "-engine", "zzz"},
+		{"Hanoi", "-mode", "zzz"},
+		{"Hanoi", "-link", "zzz"},
+		{"-order", "test"}, // flag before name
+		{},
+	} {
+		var b strings.Builder
+		if err := dispatch("sim", bad, &b); err == nil {
+			t.Errorf("sim %v succeeded", bad)
+		}
+	}
+}
+
+func TestUnknownCommand(t *testing.T) {
+	var b strings.Builder
+	if err := dispatch("frobnicate", nil, &b); err != errUsage {
+		t.Errorf("err = %v, want errUsage", err)
+	}
+}
+
+func TestServeAndFetch(t *testing.T) {
+	srv, size, err := newServer("Hanoi", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if size <= 0 {
+		t.Fatal("empty stream")
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(ln)
+	defer srv.Close()
+
+	out := capture(t, "fetch", "http://"+ln.Addr().String()+"/app", "-name", "Hanoi")
+	if !strings.Contains(out, "self-check: ok") {
+		t.Errorf("fetch output:\n%s", out)
+	}
+	out = capture(t, "fetch", "http://"+ln.Addr().String()+"/app", "-name", "Hanoi", "-train")
+	if !strings.Contains(out, "self-check: ok") {
+		t.Errorf("train fetch output:\n%s", out)
+	}
+
+	// Error paths.
+	var b strings.Builder
+	if err := dispatch("fetch", []string{"http://" + ln.Addr().String() + "/app"}, &b); err == nil {
+		t.Error("fetch without -name succeeded")
+	}
+	if err := dispatch("fetch", []string{"http://" + ln.Addr().String() + "/nope", "-name", "Hanoi"}, &b); err == nil {
+		t.Error("fetch of missing path succeeded")
+	}
+	if err := dispatch("serve", []string{"-addr", "x"}, &b); err == nil {
+		t.Error("serve without name succeeded")
+	}
+}

@@ -1,0 +1,166 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"time"
+
+	"nonstrict"
+	"nonstrict/internal/jir"
+	"nonstrict/internal/stream"
+)
+
+// cmdServe publishes a benchmark as an interleaved virtual file over
+// HTTP, restructured into static first-use order — a minimal non-strict
+// code server.
+func cmdServe(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
+	addr := fs.String("addr", "127.0.0.1:0", "listen address")
+	rate := fs.Int("rate", 0, "throttle to N bytes/second (0 = unthrottled)")
+	if len(args) == 0 || strings.HasPrefix(args[0], "-") {
+		return fmt.Errorf("serve: usage: nonstrict serve <name> [-addr host:port] [-rate N]")
+	}
+	name := args[0]
+	if err := fs.Parse(args[1:]); err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	srv, size, err := newServer(name, *rate)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "serving %s (%d stream bytes) at http://%s/app\n", name, size, ln.Addr())
+	return srv.Serve(ln)
+}
+
+// newServer builds the HTTP server for one benchmark.
+func newServer(name string, rate int) (*http.Server, int64, error) {
+	app, err := nonstrict.Benchmark(name)
+	if err != nil {
+		return nil, 0, err
+	}
+	prog, err := jir.Compile(app.IR)
+	if err != nil {
+		return nil, 0, err
+	}
+	order, ix, err := nonstrict.PredictStatic(prog)
+	if err != nil {
+		return nil, 0, err
+	}
+	rp, _ := nonstrict.Restructure(prog, ix, order)
+	w, err := nonstrict.NewStreamWriter(rp, ix, order)
+	if err != nil {
+		return nil, 0, err
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/app", func(rw http.ResponseWriter, req *http.Request) {
+		var dst io.Writer = rw
+		if rate > 0 {
+			fl, _ := rw.(http.Flusher)
+			dst = &pacedWriter{w: rw, fl: fl, rate: rate}
+		}
+		if _, err := w.WriteTo(dst); err != nil {
+			return
+		}
+	})
+	return &http.Server{Handler: mux}, w.Size(), nil
+}
+
+// pacedWriter throttles and flushes chunks.
+type pacedWriter struct {
+	w    io.Writer
+	fl   http.Flusher
+	rate int
+}
+
+func (p *pacedWriter) Write(b []byte) (int, error) {
+	const chunk = 512
+	written := 0
+	for off := 0; off < len(b); off += chunk {
+		end := off + chunk
+		if end > len(b) {
+			end = len(b)
+		}
+		n, err := p.w.Write(b[off:end])
+		written += n
+		if err != nil {
+			return written, err
+		}
+		if p.fl != nil {
+			p.fl.Flush()
+		}
+		time.Sleep(time.Duration(n) * time.Second / time.Duration(p.rate))
+	}
+	return written, nil
+}
+
+// cmdFetch downloads a served benchmark, loads it non-strictly with
+// incremental verification, executes it, and runs the workload
+// self-check.
+func cmdFetch(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("fetch", flag.ContinueOnError)
+	name := fs.String("name", "", "benchmark name (for input args and self-check)")
+	train := fs.Bool("train", false, "run the train input instead of test")
+	if len(args) == 0 || strings.HasPrefix(args[0], "-") {
+		return fmt.Errorf("fetch: usage: nonstrict fetch <url> -name <benchmark> [-train]")
+	}
+	url := args[0]
+	if err := fs.Parse(args[1:]); err != nil {
+		return err
+	}
+	if *name == "" {
+		return fmt.Errorf("fetch: -name is required")
+	}
+	app, err := nonstrict.Benchmark(*name)
+	if err != nil {
+		return err
+	}
+
+	resp, err := http.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("fetch: server returned %s", resp.Status)
+	}
+
+	start := time.Now()
+	var mainReadyAt time.Duration
+	var ready int
+	loader := nonstrict.NewStreamLoader(*name, app.IR.Main)
+	if err := loader.Load(resp.Body, func(e nonstrict.StreamEvent) {
+		if e.Kind == stream.MethodReady {
+			ready++
+			if ready == 1 {
+				mainReadyAt = time.Since(start)
+			}
+		}
+	}); err != nil {
+		return err
+	}
+	total := time.Since(start)
+
+	prog, err := loader.Program()
+	if err != nil {
+		return err
+	}
+	m, err := nonstrict.Execute(prog, nonstrict.RunOptions{Args: app.Args(*train)})
+	if err != nil {
+		return err
+	}
+	if err := app.Check(m, *train); err != nil {
+		return fmt.Errorf("fetch: self-check failed: %w", err)
+	}
+	fmt.Fprintf(out, "fetched %d bytes in %v; first method runnable after %v\n",
+		loader.Consumed(), total.Round(time.Millisecond), mainReadyAt.Round(time.Millisecond))
+	fmt.Fprintf(out, "executed %d instructions; self-check: ok\n", m.Steps())
+	return nil
+}

@@ -1,0 +1,67 @@
+package nonstrict_test
+
+import (
+	"fmt"
+	"log"
+
+	"nonstrict"
+)
+
+// Simulate the paper's flagship configuration: Jess restructured with a
+// test profile, streamed as one interleaved virtual file over a modem.
+func ExampleBench_Simulate() {
+	bench, err := nonstrict.LoadBenchmark("Jess")
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := bench.Simulate(nonstrict.Variant{
+		Order:  nonstrict.Test,
+		Engine: nonstrict.Interleaved,
+		Mode:   nonstrict.NonStrict,
+		Link:   nonstrict.Modem,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	pct := 100 * float64(res.TotalCycles) / float64(bench.StrictTotal(nonstrict.Modem))
+	fmt.Printf("Jess on a modem finishes in %.0f%% of the strict time\n", pct)
+	fmt.Printf("mispredicts under the perfect profile: %d\n", res.Mispredicts)
+	// Output:
+	// Jess on a modem finishes in 48% of the strict time
+	// mispredicts under the perfect profile: 0
+}
+
+// Execute a benchmark in the VM and inspect its first-use profile.
+func ExampleExecute() {
+	app, err := nonstrict.Benchmark("Hanoi")
+	if err != nil {
+		log.Fatal(err)
+	}
+	bench, err := nonstrict.LoadBenchmark(app.Name)
+	if err != nil {
+		log.Fatal(err)
+	}
+	prof := bench.TestProfile
+	fmt.Printf("methods executed: %d of %d\n", prof.Executed(), bench.Prog.NumMethods())
+	fmt.Printf("first method used: %v\n", bench.Ix.Ref(prof.FirstUse[0]))
+	// Output:
+	// methods executed: 48 of 54
+	// first method used: Hanoi.main
+}
+
+// Predict first use statically and restructure a program's class files.
+func ExamplePredictStatic() {
+	app, err := nonstrict.Benchmark("TestDes")
+	if err != nil {
+		log.Fatal(err)
+	}
+	bench, err := nonstrict.LoadBenchmark(app.Name)
+	if err != nil {
+		log.Fatal(err)
+	}
+	order, _, _, _ := bench.Prepared(nonstrict.SCG)
+	// After restructuring, the entry point leads its class file.
+	fmt.Printf("first in predicted order: %v\n", bench.Ix.Ref(order.Methods[0]))
+	// Output:
+	// first in predicted order: TestDes.main
+}

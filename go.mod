@@ -1,0 +1,3 @@
+module nonstrict
+
+go 1.24

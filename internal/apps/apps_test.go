@@ -1,0 +1,90 @@
+package apps
+
+import (
+	"testing"
+
+	"nonstrict/internal/jir"
+	"nonstrict/internal/vm"
+)
+
+// runApp compiles, links, runs, and checks one input of an app.
+func runApp(t *testing.T, a *App, train bool) *vm.Machine {
+	t.Helper()
+	cp, err := jir.Compile(a.IR)
+	if err != nil {
+		t.Fatalf("%s: compile: %v", a.Name, err)
+	}
+	ln, err := vm.Link(cp)
+	if err != nil {
+		t.Fatalf("%s: link: %v", a.Name, err)
+	}
+	m, err := ln.Run(vm.Options{Args: a.Args(train), MaxSteps: 5e8})
+	if err != nil {
+		t.Fatalf("%s: run(train=%v): %v", a.Name, train, err)
+	}
+	if err := a.Check(m, train); err != nil {
+		t.Fatalf("%s: check(train=%v): %v", a.Name, train, err)
+	}
+	return m
+}
+
+func TestAllAppsRunAndVerify(t *testing.T) {
+	for _, a := range All() {
+		a := a
+		t.Run(a.Name, func(t *testing.T) {
+			cp, err := jir.Compile(a.IR)
+			if err != nil {
+				t.Fatal(err)
+			}
+			test := runApp(t, a, false)
+			train := runApp(t, a, true)
+
+			t.Logf("%s: files=%d sizeKB=%.1f methods=%d staticInstrs=%d dynTest=%d dynTrain=%d execTest=%d/%d",
+				a.Name, len(cp.Classes), float64(cp.TotalSize())/1024,
+				cp.NumMethods(), cp.StaticInstrs(),
+				test.Steps(), train.Steps(),
+				test.Profile().Executed(), cp.NumMethods())
+
+			if test.Steps() < train.Steps() {
+				t.Errorf("test input (%d instrs) smaller than train (%d)", test.Steps(), train.Steps())
+			}
+			if test.Profile().Executed() == 0 {
+				t.Error("no methods executed")
+			}
+		})
+	}
+}
+
+// TestAppDeterminism checks that building and running an app twice gives
+// identical programs and results — required for reproducible experiments.
+func TestAppDeterminism(t *testing.T) {
+	for _, name := range tableOrder {
+		if _, ok := builders[name]; !ok {
+			continue
+		}
+		a1, _ := ByName(name)
+		a2, _ := ByName(name)
+		cp1, err := jir.Compile(a1.IR)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cp2, err := jir.Compile(a2.IR)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cp1.TotalSize() != cp2.TotalSize() || cp1.NumMethods() != cp2.NumMethods() {
+			t.Errorf("%s: two builds differ", name)
+		}
+		for i, c := range cp1.Classes {
+			if string(c.Serialize()) != string(cp2.Classes[i].Serialize()) {
+				t.Errorf("%s: class %s serialization differs across builds", name, c.Name)
+			}
+		}
+	}
+}
+
+func TestByNameUnknown(t *testing.T) {
+	if _, err := ByName("NotAnApp"); err == nil {
+		t.Error("unknown app accepted")
+	}
+}

@@ -1,0 +1,35 @@
+package apps
+
+import "nonstrict/internal/jir"
+
+// driverUtils returns the companion methods a real application's main
+// class carries: usage and banner text, argument parsing, licensing.
+// They sit after main in the class file and are cold on any given run,
+// which is exactly why non-strict execution cuts invocation latency —
+// main can begin before the rest of its own class file arrives.
+func driverUtils(app string) []*jir.Func {
+	fold := func(name, text string, k int64, ld int) *jir.Func {
+		return &jir.Func{Name: name, NRet: 1, LocalData: ld, Body: jir.Block(
+			jir.Let("s", jir.Str(text)),
+			jir.Let("cs", jir.I(k)),
+			jir.For(jir.Let("i", jir.I(0)), jir.Lt(jir.L("i"), jir.ALen(jir.L("s"))), jir.Inc("i"), jir.Block(
+				jir.Let("cs", jir.Add(jir.Mul(jir.L("cs"), jir.I(31)), jir.Idx(jir.L("s"), jir.L("i")))),
+			)),
+			jir.Ret(jir.L("cs")),
+		)}
+	}
+	return []*jir.Func{
+		fold("usage", "usage: "+app+" [-v] [-o file] <input>", 3, 110),
+		fold("banner", app+" 1.1.2-beta  (c) 1998 UCSD/CU mobile programs project", 5, 95),
+		fold("license", "Permission to make digital or hard copies of part or all of this work for personal or classroom use is granted without fee.", 7, 145),
+		fold("helpText", "options:\n  -v  verbose diagnostics\n  -o  output file\n  -t  trace execution\n  -p  profile first use", 11, 125),
+		{Name: "parseArgs", Params: []string{"argc"}, NRet: 1, LocalData: 105, Body: jir.Block(
+			jir.Let("flags", jir.I(0)),
+			jir.For(jir.Let("i", jir.I(0)), jir.Lt(jir.L("i"), jir.L("argc")), jir.Inc("i"), jir.Block(
+				jir.Let("flags", jir.Or(jir.L("flags"), jir.Shl(jir.I(1), jir.Rem(jir.L("i"), jir.I(8))))),
+			)),
+			jir.Ret(jir.L("flags")),
+		)},
+		fold("buildInfo", app+".java compiled with substrate jir; strictness: method-level delimiters", 13, 115),
+	}
+}

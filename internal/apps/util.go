@@ -1,0 +1,41 @@
+package apps
+
+import "nonstrict/internal/xrand"
+
+// randPerm returns a random permutation of [0, n).
+func randPerm(r *xrand.Rand, n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}
+
+// invertPerm returns q with q[p[i]] = i.
+func invertPerm(p []int) []int {
+	q := make([]int, len(p))
+	for i, v := range p {
+		q[v] = i
+	}
+	return q
+}
+
+// asciiText builds deterministic printable text of length n, word-like so
+// compressors find matches in it.
+func asciiText(r *xrand.Rand, n int) string {
+	words := []string{
+		"mobile", "program", "transfer", "execute", "class", "method",
+		"network", "latency", "overlap", "stream", "remote", "byte",
+	}
+	b := make([]byte, 0, n)
+	for len(b) < n {
+		w := words[r.Intn(len(words))]
+		b = append(b, w...)
+		b = append(b, ' ')
+	}
+	return string(b[:n])
+}

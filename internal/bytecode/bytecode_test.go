@@ -1,0 +1,223 @@
+package bytecode
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func allOps() []Op {
+	var ops []Op
+	for op := Op(0); op < numOps; op++ {
+		if op.Valid() {
+			ops = append(ops, op)
+		}
+	}
+	return ops
+}
+
+func TestOpTableComplete(t *testing.T) {
+	for op := Op(0); op < numOps; op++ {
+		if !op.Valid() {
+			t.Errorf("opcode %d has no table entry", byte(op))
+		}
+	}
+	if Op(numOps).Valid() {
+		t.Error("sentinel op reported valid")
+	}
+	if Op(255).Valid() {
+		t.Error("op 255 reported valid")
+	}
+}
+
+func TestOperandWidths(t *testing.T) {
+	want := map[OperandKind]int{
+		OpndNone: 0, OpndU8: 1, OpndS8: 1, OpndS16: 2, OpndCP: 2, OpndS32: 4,
+	}
+	for k, w := range want {
+		if got := k.Width(); got != w {
+			t.Errorf("kind %d width = %d, want %d", k, got, w)
+		}
+	}
+}
+
+func TestWidthMatchesEncoding(t *testing.T) {
+	for _, op := range allOps() {
+		in := Instr{Op: op, Arg: 1}
+		code := AppendInstr(nil, in)
+		if len(code) != op.Width() {
+			t.Errorf("%v: encoded %d bytes, Width() = %d", op, len(code), op.Width())
+		}
+	}
+}
+
+// randArg picks a random in-range operand for op.
+func randArg(r *rand.Rand, op Op) int32 {
+	switch op.Info().Operand {
+	case OpndNone:
+		return 0
+	case OpndU8:
+		return int32(r.Intn(256))
+	case OpndS8:
+		return int32(r.Intn(256) - 128)
+	case OpndS16:
+		return int32(r.Intn(65536) - 32768)
+	case OpndCP:
+		return int32(r.Intn(65536))
+	case OpndS32:
+		return int32(r.Uint32())
+	}
+	panic("unreachable")
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	ops := allOps()
+	f := func(seed int64, n uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		var in []Instr
+		for i := 0; i < int(n)%64+1; i++ {
+			op := ops[r.Intn(len(ops))]
+			in = append(in, Instr{Op: op, Arg: randArg(r, op)})
+		}
+		code := Encode(in)
+		out, err := Decode(code)
+		if err != nil {
+			t.Logf("decode error: %v", err)
+			return false
+		}
+		if len(out) != len(in) {
+			return false
+		}
+		for i := range in {
+			if in[i] != out[i] {
+				t.Logf("instr %d: %v != %v", i, in[i], out[i])
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDecodeTruncated(t *testing.T) {
+	code := Encode([]Instr{{Op: SIPUSH, Arg: 300}})
+	for cut := 1; cut < len(code); cut++ {
+		if _, err := Decode(code[:cut]); err == nil {
+			t.Errorf("decode of %d/%d bytes succeeded", cut, len(code))
+		}
+	}
+}
+
+func TestDecodeBadOpcode(t *testing.T) {
+	if _, err := Decode([]byte{250}); err == nil {
+		t.Error("decode of opcode 250 succeeded")
+	}
+}
+
+func TestDecodeAtBounds(t *testing.T) {
+	code := Encode([]Instr{{Op: NOP}})
+	if _, _, err := DecodeAt(code, -1); err == nil {
+		t.Error("DecodeAt(-1) succeeded")
+	}
+	if _, _, err := DecodeAt(code, len(code)); err == nil {
+		t.Error("DecodeAt(len) succeeded")
+	}
+}
+
+func TestCount(t *testing.T) {
+	in := []Instr{{Op: BIPUSH, Arg: 1}, {Op: BIPUSH, Arg: 2}, {Op: IADD}, {Op: IRETURN}}
+	n, err := Count(Encode(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 4 {
+		t.Errorf("Count = %d, want 4", n)
+	}
+}
+
+func TestAppendInstrRangeChecks(t *testing.T) {
+	cases := []Instr{
+		{Op: LOAD, Arg: 256},
+		{Op: LOAD, Arg: -1},
+		{Op: BIPUSH, Arg: 128},
+		{Op: BIPUSH, Arg: -129},
+		{Op: SIPUSH, Arg: math.MaxInt16 + 1},
+		{Op: LDC, Arg: 65536},
+	}
+	for _, in := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("AppendInstr(%v) did not panic", in)
+				}
+			}()
+			AppendInstr(nil, in)
+		}()
+	}
+}
+
+func TestSignedOperandRoundTrip(t *testing.T) {
+	cases := []Instr{
+		{Op: BIPUSH, Arg: -128},
+		{Op: BIPUSH, Arg: 127},
+		{Op: SIPUSH, Arg: -32768},
+		{Op: SIPUSH, Arg: 32767},
+		{Op: IPUSH, Arg: math.MinInt32},
+		{Op: IPUSH, Arg: math.MaxInt32},
+		{Op: GOTO, Arg: -3},
+	}
+	for _, in := range cases {
+		got, err := Decode(Encode([]Instr{in}))
+		if err != nil {
+			t.Fatalf("%v: %v", in, err)
+		}
+		if got[0] != in {
+			t.Errorf("round trip %v -> %v", in, got[0])
+		}
+	}
+}
+
+func TestDisassemble(t *testing.T) {
+	code := Encode([]Instr{
+		{Op: LOAD, Arg: 1},
+		{Op: IFEQ, Arg: 7}, // branch from offset 2 to 9
+		{Op: BIPUSH, Arg: 42},
+		{Op: IRETURN},
+	})
+	dis := Disassemble(code)
+	for _, want := range []string{"0: load 1", "2: ifeq -> 9", "5: bipush 42", "7: ireturn"} {
+		if !strings.Contains(dis, want) {
+			t.Errorf("disassembly missing %q:\n%s", want, dis)
+		}
+	}
+}
+
+func TestIsCompare(t *testing.T) {
+	for _, op := range []Op{IFEQ, IFNE, IFLT, IFGE, IFGT, IFLE, IFCMPEQ, IFCMPNE, IFCMPLT, IFCMPGE, IFCMPGT, IFCMPLE} {
+		if !op.IsCompare() {
+			t.Errorf("%v.IsCompare() = false", op)
+		}
+	}
+	for _, op := range []Op{GOTO, NOP, IADD, INVOKE, HALT} {
+		if op.IsCompare() {
+			t.Errorf("%v.IsCompare() = true", op)
+		}
+	}
+}
+
+func TestTerminalFlags(t *testing.T) {
+	for _, op := range []Op{GOTO, RETURN, IRETURN, HALT} {
+		if !op.Info().Terminal {
+			t.Errorf("%v not terminal", op)
+		}
+	}
+	for _, op := range []Op{IFEQ, INVOKE, IADD} {
+		if op.Info().Terminal {
+			t.Errorf("%v terminal", op)
+		}
+	}
+}

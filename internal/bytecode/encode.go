@@ -1,0 +1,166 @@
+package bytecode
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// Instr is one decoded instruction. Arg holds the operand value: an
+// immediate, a local slot, a constant-pool index, or a branch displacement
+// (relative to the instruction's first byte), depending on the opcode.
+type Instr struct {
+	Op  Op
+	Arg int32
+}
+
+// String returns an assembler-style rendering such as "sipush 300".
+func (in Instr) String() string {
+	if in.Op.Info().Operand == OpndNone {
+		return in.Op.String()
+	}
+	return fmt.Sprintf("%s %d", in.Op, in.Arg)
+}
+
+// Width returns the encoded size of the instruction in bytes.
+func (in Instr) Width() int { return in.Op.Width() }
+
+// AppendInstr appends the encoding of in to code and returns the extended
+// slice. It panics if the operand does not fit its encoding; the compiler
+// guarantees ranges, and hand-written tests exercise the panic.
+func AppendInstr(code []byte, in Instr) []byte {
+	code = append(code, byte(in.Op))
+	switch k := in.Op.Info().Operand; k {
+	case OpndNone:
+	case OpndU8:
+		if in.Arg < 0 || in.Arg > 255 {
+			panic(fmt.Sprintf("bytecode: %s operand %d out of u8 range", in.Op, in.Arg))
+		}
+		code = append(code, byte(in.Arg))
+	case OpndS8:
+		if in.Arg < -128 || in.Arg > 127 {
+			panic(fmt.Sprintf("bytecode: %s operand %d out of s8 range", in.Op, in.Arg))
+		}
+		code = append(code, byte(int8(in.Arg)))
+	case OpndS16:
+		if in.Arg < -32768 || in.Arg > 32767 {
+			panic(fmt.Sprintf("bytecode: %s operand %d out of s16 range", in.Op, in.Arg))
+		}
+		code = append(code, byte(uint16(in.Arg)>>8), byte(uint16(in.Arg)))
+	case OpndCP:
+		if in.Arg < 0 || in.Arg > 65535 {
+			panic(fmt.Sprintf("bytecode: %s operand %d out of u16 range", in.Op, in.Arg))
+		}
+		code = append(code, byte(uint16(in.Arg)>>8), byte(uint16(in.Arg)))
+	case OpndS32:
+		code = append(code,
+			byte(uint32(in.Arg)>>24), byte(uint32(in.Arg)>>16),
+			byte(uint32(in.Arg)>>8), byte(uint32(in.Arg)))
+	default:
+		panic(fmt.Sprintf("bytecode: bad operand kind %d", k))
+	}
+	return code
+}
+
+// ErrTruncated is returned when a code stream ends inside an instruction.
+var ErrTruncated = errors.New("bytecode: truncated instruction")
+
+// ErrBadOpcode is returned when a code stream contains an undefined opcode.
+var ErrBadOpcode = errors.New("bytecode: undefined opcode")
+
+// DecodeAt decodes the instruction starting at pc. It returns the
+// instruction and the pc of the next instruction.
+func DecodeAt(code []byte, pc int) (Instr, int, error) {
+	if pc < 0 || pc >= len(code) {
+		return Instr{}, 0, ErrTruncated
+	}
+	op := Op(code[pc])
+	if !op.Valid() {
+		return Instr{}, 0, fmt.Errorf("%w: %d at pc %d", ErrBadOpcode, code[pc], pc)
+	}
+	k := op.Info().Operand
+	end := pc + 1 + k.Width()
+	if end > len(code) {
+		return Instr{}, 0, fmt.Errorf("%w: %s at pc %d", ErrTruncated, op, pc)
+	}
+	var arg int32
+	switch k {
+	case OpndNone:
+	case OpndU8:
+		arg = int32(code[pc+1])
+	case OpndS8:
+		arg = int32(int8(code[pc+1]))
+	case OpndS16:
+		arg = int32(int16(uint16(code[pc+1])<<8 | uint16(code[pc+2])))
+	case OpndCP:
+		arg = int32(uint16(code[pc+1])<<8 | uint16(code[pc+2]))
+	case OpndS32:
+		arg = int32(uint32(code[pc+1])<<24 | uint32(code[pc+2])<<16 |
+			uint32(code[pc+3])<<8 | uint32(code[pc+4]))
+	}
+	return Instr{Op: op, Arg: arg}, end, nil
+}
+
+// Decode decodes an entire code stream. It fails on truncation or
+// undefined opcodes but performs no control-flow validation (that is the
+// verifier's job).
+func Decode(code []byte) ([]Instr, error) {
+	var out []Instr
+	for pc := 0; pc < len(code); {
+		in, next, err := DecodeAt(code, pc)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, in)
+		pc = next
+	}
+	return out, nil
+}
+
+// Encode encodes a sequence of instructions.
+func Encode(instrs []Instr) []byte {
+	var code []byte
+	for _, in := range instrs {
+		code = AppendInstr(code, in)
+	}
+	return code
+}
+
+// Count returns the number of instructions in the encoded stream, or an
+// error if the stream is malformed.
+func Count(code []byte) (int, error) {
+	n := 0
+	for pc := 0; pc < len(code); {
+		_, next, err := DecodeAt(code, pc)
+		if err != nil {
+			return 0, err
+		}
+		n++
+		pc = next
+	}
+	return n, nil
+}
+
+// Disassemble renders the code stream one instruction per line with byte
+// offsets, resolving branch displacements to absolute targets:
+//
+//	0: load 1
+//	2: ifeq -> 12
+//	5: ...
+func Disassemble(code []byte) string {
+	var b strings.Builder
+	for pc := 0; pc < len(code); {
+		in, next, err := DecodeAt(code, pc)
+		if err != nil {
+			fmt.Fprintf(&b, "%4d: <%v>\n", pc, err)
+			break
+		}
+		if in.Op.Info().Branch {
+			fmt.Fprintf(&b, "%4d: %s -> %d\n", pc, in.Op, pc+int(in.Arg))
+		} else {
+			fmt.Fprintf(&b, "%4d: %s\n", pc, in)
+		}
+		pc = next
+	}
+	return b.String()
+}

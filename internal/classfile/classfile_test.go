@@ -1,0 +1,364 @@
+package classfile
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"nonstrict/internal/bytecode"
+)
+
+// buildSample constructs a two-method class exercising every constant
+// kind and structure the wire format carries.
+func buildSample() *Class {
+	b := NewBuilder("App", "Object")
+	b.AddInterface("Runnable")
+	b.AddField("state")
+	b.AddField("result")
+	b.AddAttribute("SourceFile", []byte("App.java"))
+	b.String("hello world")
+	b.Integer(1 << 40) // Long
+	b.Integer(12345)   // Integer
+	b.InterfaceMethodRef("Runnable", "run", 0, 0)
+	b.add(Constant{Kind: KFloat, Float: 1.5})
+	b.add(Constant{Kind: KDouble, Float: 2.25})
+
+	mainCode := bytecode.Encode([]bytecode.Instr{
+		{Op: bytecode.BIPUSH, Arg: 7},
+		{Op: bytecode.INVOKE, Arg: int32(b.MethodRef("App", "helper", 1, 1))},
+		{Op: bytecode.PUTSTATIC, Arg: int32(b.FieldRef("App", "result"))},
+		{Op: bytecode.HALT},
+	})
+	helperCode := bytecode.Encode([]bytecode.Instr{
+		{Op: bytecode.LOAD, Arg: 0},
+		{Op: bytecode.BIPUSH, Arg: 2},
+		{Op: bytecode.IMUL},
+		{Op: bytecode.IRETURN},
+	})
+	b.AddMethod("main", 0, 0, 1, 2, []byte{1, 2, 3}, mainCode)
+	b.AddMethod("helper", 1, 1, 1, 2, nil, helperCode)
+	return b.Build()
+}
+
+func TestLayoutMatchesSerialize(t *testing.T) {
+	c := buildSample()
+	data := c.Serialize()
+	l := c.ComputeLayout()
+	if l.FileSize != len(data) {
+		t.Fatalf("layout FileSize = %d, serialized = %d", l.FileSize, len(data))
+	}
+	bd := l.Breakdown
+	sum := bd.FixedHeader + bd.CPool + bd.Interfaces + bd.Fields + bd.Attrs + bd.MethodHeaders
+	if sum != bd.Total || bd.Total != l.GlobalEnd {
+		t.Errorf("breakdown sum %d, Total %d, GlobalEnd %d", sum, bd.Total, l.GlobalEnd)
+	}
+	cpSum := 0
+	for _, n := range bd.CPByKind {
+		cpSum += n
+	}
+	if cpSum != bd.CPool {
+		t.Errorf("CPByKind sums to %d, CPool = %d", cpSum, bd.CPool)
+	}
+	// Delimiters must sit exactly where the layout says.
+	for i, ml := range l.Methods {
+		got := [DelimSize]byte(data[ml.DelimEnd-DelimSize : ml.DelimEnd])
+		if got != Delim {
+			t.Errorf("method %d: bytes at delimiter = %x", i, got)
+		}
+	}
+}
+
+func TestParseRoundTrip(t *testing.T) {
+	c := buildSample()
+	data := c.Serialize()
+	got, err := Parse(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != "App" || got.Super != "Object" {
+		t.Errorf("parsed identity = %q/%q", got.Name, got.Super)
+	}
+	if len(got.CP) != len(c.CP) {
+		t.Fatalf("pool size %d, want %d", len(got.CP), len(c.CP))
+	}
+	for i := 1; i < len(c.CP); i++ {
+		if c.CP[i] != got.CP[i] {
+			t.Errorf("constant %d: %+v != %+v", i, got.CP[i], c.CP[i])
+		}
+	}
+	if len(got.Methods) != 2 {
+		t.Fatalf("parsed %d methods", len(got.Methods))
+	}
+	for i, m := range got.Methods {
+		want := c.Methods[i]
+		if string(m.Code) != string(want.Code) {
+			t.Errorf("method %d code mismatch", i)
+		}
+		if string(m.LocalData) != string(want.LocalData) {
+			t.Errorf("method %d local data mismatch", i)
+		}
+		if m.NArgs != want.NArgs || m.NRet != want.NRet {
+			t.Errorf("method %d arity (%d,%d), want (%d,%d)", i, m.NArgs, m.NRet, want.NArgs, want.NRet)
+		}
+	}
+	// Re-serializing the parse must be byte-identical.
+	if string(got.Serialize()) != string(data) {
+		t.Error("re-serialization differs")
+	}
+}
+
+func TestParseGlobalOnly(t *testing.T) {
+	c := buildSample()
+	data := c.Serialize()
+	l := c.ComputeLayout()
+	// ParseGlobal must succeed given only the global-data prefix.
+	got, gl, err := ParseGlobal(data[:l.GlobalEnd])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gl.GlobalEnd != l.GlobalEnd || gl.FileSize != l.FileSize {
+		t.Errorf("streamed layout = {%d %d}, want {%d %d}", gl.GlobalEnd, gl.FileSize, l.GlobalEnd, l.FileSize)
+	}
+	for i := range l.Methods {
+		if gl.Methods[i] != l.Methods[i] {
+			t.Errorf("method %d layout %+v, want %+v", i, gl.Methods[i], l.Methods[i])
+		}
+	}
+	if got.MethodByName("helper") == nil {
+		t.Error("method headers not parsed from global section")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	c := buildSample()
+	data := c.Serialize()
+
+	bad := append([]byte(nil), data...)
+	bad[0] ^= 0xFF
+	if _, err := Parse(bad); err == nil {
+		t.Error("bad magic accepted")
+	}
+
+	bad = append([]byte(nil), data...)
+	bad[5] = 99 // version low byte
+	if _, err := Parse(bad); err == nil {
+		t.Error("bad version accepted")
+	}
+
+	for _, cut := range []int{3, 9, 20, len(data) / 2, len(data) - 1} {
+		if _, err := Parse(data[:cut]); err == nil {
+			t.Errorf("truncation at %d accepted", cut)
+		}
+	}
+
+	// Corrupt a delimiter.
+	l := c.ComputeLayout()
+	bad = append([]byte(nil), data...)
+	bad[l.Methods[0].DelimEnd-1] ^= 0xFF
+	if _, err := Parse(bad); err == nil {
+		t.Error("corrupt delimiter accepted")
+	}
+}
+
+func TestConstantWireSizes(t *testing.T) {
+	cases := []struct {
+		c    Constant
+		want int
+	}{
+		{Constant{Kind: KUtf8, Str: "abcd"}, 7},
+		{Constant{Kind: KInteger}, 5},
+		{Constant{Kind: KFloat}, 5},
+		{Constant{Kind: KLong}, 9},
+		{Constant{Kind: KDouble}, 9},
+		{Constant{Kind: KClass}, 3},
+		{Constant{Kind: KString}, 3},
+		{Constant{Kind: KFieldRef}, 5},
+		{Constant{Kind: KMethodRef}, 5},
+		{Constant{Kind: KInterfaceMethodRef}, 5},
+		{Constant{Kind: KNameAndType}, 5},
+	}
+	for _, tc := range cases {
+		if got := tc.c.WireSize(); got != tc.want {
+			t.Errorf("%v: WireSize = %d, want %d", tc.c.Kind, got, tc.want)
+		}
+	}
+}
+
+func TestBuilderDedup(t *testing.T) {
+	b := NewBuilder("C", "")
+	if b.Utf8("x") != b.Utf8("x") {
+		t.Error("Utf8 not deduplicated")
+	}
+	if b.Integer(7) != b.Integer(7) {
+		t.Error("Integer not deduplicated")
+	}
+	if b.Integer(1<<40) != b.Integer(1<<40) {
+		t.Error("Long not deduplicated")
+	}
+	if b.String("s") != b.String("s") {
+		t.Error("String not deduplicated")
+	}
+	if b.Class("K") != b.Class("K") {
+		t.Error("Class not deduplicated")
+	}
+	if b.MethodRef("K", "m", 2, 1) != b.MethodRef("K", "m", 2, 1) {
+		t.Error("MethodRef not deduplicated")
+	}
+	if b.FieldRef("K", "f") != b.FieldRef("K", "f") {
+		t.Error("FieldRef not deduplicated")
+	}
+	if b.NameAndType("n", "I") != b.NameAndType("n", "I") {
+		t.Error("NameAndType not deduplicated")
+	}
+	// Integer and Long with different values must differ.
+	if b.Integer(1) == b.Integer(2) {
+		t.Error("distinct integers share an entry")
+	}
+}
+
+func TestDescriptorRoundTrip(t *testing.T) {
+	f := func(nargs uint8, ret bool) bool {
+		na := int(nargs) % 40
+		nr := 0
+		if ret {
+			nr = 1
+		}
+		d := MethodDescriptor(na, nr)
+		ga, gr, err := ParseDescriptor(d)
+		return err == nil && ga == na && gr == nr
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParseDescriptorErrors(t *testing.T) {
+	for _, d := range []string{"", "()", "I", "(I", "I)V", "(X)V", "(I)X", "(I)VV", "(I)"} {
+		if _, _, err := ParseDescriptor(d); err == nil {
+			t.Errorf("ParseDescriptor(%q) succeeded", d)
+		}
+	}
+}
+
+func TestProgramHelpers(t *testing.T) {
+	c := buildSample()
+	p := &Program{Name: "t", Classes: []*Class{c}, MainClass: "App"}
+	if p.Class("App") != c || p.Class("Nope") != nil {
+		t.Error("Class lookup broken")
+	}
+	if p.NumMethods() != 2 {
+		t.Errorf("NumMethods = %d", p.NumMethods())
+	}
+	if p.TotalSize() != c.WireSize() {
+		t.Error("TotalSize mismatch")
+	}
+	if got := p.Main(); got != (Ref{Class: "App", Name: "main"}) {
+		t.Errorf("Main = %v", got)
+	}
+	if _, _, err := p.Lookup(Ref{Class: "App", Name: "helper"}); err != nil {
+		t.Error(err)
+	}
+	if _, _, err := p.Lookup(Ref{Class: "App", Name: "nope"}); err == nil {
+		t.Error("Lookup of missing method succeeded")
+	}
+	if _, _, err := p.Lookup(Ref{Class: "Nope", Name: "x"}); err == nil {
+		t.Error("Lookup of missing class succeeded")
+	}
+	if p.StaticInstrs() != 8 {
+		t.Errorf("StaticInstrs = %d, want 8", p.StaticInstrs())
+	}
+}
+
+func TestIndexMethods(t *testing.T) {
+	c := buildSample()
+	p := &Program{Name: "t", Classes: []*Class{c}, MainClass: "App"}
+	ix := p.IndexMethods()
+	if ix.Len() != 2 {
+		t.Fatalf("Len = %d", ix.Len())
+	}
+	mainID := ix.ID(Ref{Class: "App", Name: "main"})
+	if mainID == NoMethod {
+		t.Fatal("main not indexed")
+	}
+	if ix.Ref(mainID).Name != "main" {
+		t.Error("Ref(ID) mismatch")
+	}
+	if ix.Class(mainID) != c {
+		t.Error("Class(ID) mismatch")
+	}
+	if ix.Method(mainID) != c.Methods[0] {
+		t.Error("Method(ID) mismatch")
+	}
+	if ix.ID(Ref{Class: "App", Name: "zzz"}) != NoMethod {
+		t.Error("missing method got an ID")
+	}
+	if ix.ClassIndex("App") != 0 || ix.ClassIndex("zzz") != -1 {
+		t.Error("ClassIndex broken")
+	}
+}
+
+func TestRefTargetAndNames(t *testing.T) {
+	c := buildSample()
+	// Find the MethodRef for App.helper.
+	for i := 1; i < len(c.CP); i++ {
+		if c.CP[i].Kind == KMethodRef {
+			cls, name, desc := c.RefTarget(uint16(i))
+			if cls != "App" || name != "helper" || desc != "(I)I" {
+				t.Errorf("RefTarget = %q %q %q", cls, name, desc)
+			}
+		}
+	}
+	if c.ClassName(c.ThisClass) != "App" {
+		t.Error("ClassName(ThisClass) broken")
+	}
+	if c.MethodName(c.Methods[1]) != "helper" {
+		t.Error("MethodName broken")
+	}
+}
+
+func TestStringersAndAccessors(t *testing.T) {
+	kinds := []ConstKind{KUtf8, KInteger, KFloat, KLong, KDouble, KClass,
+		KString, KFieldRef, KMethodRef, KInterfaceMethodRef, KNameAndType}
+	for _, k := range kinds {
+		if s := k.String(); s == "" || strings.HasPrefix(s, "ConstKind(") {
+			t.Errorf("kind %d has no name", k)
+		}
+	}
+	if s := ConstKind(99).String(); !strings.HasPrefix(s, "ConstKind(") {
+		t.Errorf("unknown kind string = %q", s)
+	}
+	if (Ref{Class: "A", Name: "b"}).String() != "A.b" {
+		t.Error("Ref.String broken")
+	}
+	c := buildSample()
+	m := c.Methods[0]
+	if got := m.BodyWireSize(); got != len(m.LocalData)+len(m.Code)+DelimSize {
+		t.Errorf("BodyWireSize = %d", got)
+	}
+	if c.GlobalSize() != c.ComputeLayout().GlobalEnd {
+		t.Error("GlobalSize mismatch")
+	}
+	p := &Program{Name: "t", Classes: []*Class{c}, MainClass: "App"}
+	ix := p.IndexMethods()
+	if ix.Program() != p {
+		t.Error("Index.Program mismatch")
+	}
+}
+
+func TestPanickingAccessors(t *testing.T) {
+	c := buildSample()
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("Const(0)", func() { c.Const(0) })
+	mustPanic("Const(oob)", func() { c.Const(uint16(len(c.CP))) })
+	mustPanic("Utf8(class)", func() { c.Utf8(c.ThisClass) })
+	mustPanic("ClassName(utf8)", func() { c.ClassName(c.Methods[0].Name) })
+	mustPanic("RefTarget(utf8)", func() { c.RefTarget(c.Methods[0].Name) })
+}

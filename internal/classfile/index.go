@@ -1,0 +1,78 @@
+package classfile
+
+import "fmt"
+
+// MethodID is a dense program-wide method identifier, stable for a given
+// Program as long as classes and methods are not added or removed.
+// Reordering methods within a class does NOT change IDs: the index is
+// keyed by Ref, so analyses done before restructuring remain valid after.
+type MethodID int32
+
+// NoMethod is the invalid MethodID.
+const NoMethod MethodID = -1
+
+// Index maps between Refs, MethodIDs, and the underlying structures.
+type Index struct {
+	prog    *Program
+	ids     map[Ref]MethodID
+	refs    []Ref
+	methods []*Method
+	classes []*Class // owning class per method
+	classID map[string]int
+}
+
+// IndexMethods builds the method index. IDs are assigned in (class,
+// method) declaration order at the time of the call; because lookups are
+// by Ref, callers should build the index once, before any restructuring.
+func (p *Program) IndexMethods() *Index {
+	ix := &Index{
+		prog:    p,
+		ids:     make(map[Ref]MethodID),
+		classID: make(map[string]int),
+	}
+	for ci, c := range p.Classes {
+		ix.classID[c.Name] = ci
+		for _, m := range c.Methods {
+			r := Ref{Class: c.Name, Name: c.MethodName(m)}
+			if _, dup := ix.ids[r]; dup {
+				panic(fmt.Sprintf("classfile: duplicate method %v", r))
+			}
+			ix.ids[r] = MethodID(len(ix.refs))
+			ix.refs = append(ix.refs, r)
+			ix.methods = append(ix.methods, m)
+			ix.classes = append(ix.classes, c)
+		}
+	}
+	return ix
+}
+
+// Len returns the number of methods.
+func (ix *Index) Len() int { return len(ix.refs) }
+
+// ID returns the MethodID for r, or NoMethod.
+func (ix *Index) ID(r Ref) MethodID {
+	if id, ok := ix.ids[r]; ok {
+		return id
+	}
+	return NoMethod
+}
+
+// Ref returns the Ref of id.
+func (ix *Index) Ref(id MethodID) Ref { return ix.refs[id] }
+
+// Method returns the method of id.
+func (ix *Index) Method(id MethodID) *Method { return ix.methods[id] }
+
+// Class returns the class owning id.
+func (ix *Index) Class(id MethodID) *Class { return ix.classes[id] }
+
+// ClassIndex returns the position of class name in Program.Classes, or -1.
+func (ix *Index) ClassIndex(name string) int {
+	if i, ok := ix.classID[name]; ok {
+		return i
+	}
+	return -1
+}
+
+// Program returns the indexed program.
+func (ix *Index) Program() *Program { return ix.prog }

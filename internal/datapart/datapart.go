@@ -1,0 +1,215 @@
+// Package datapart implements the paper's global-data partitioning (§7.3).
+//
+// A class's global data — dominated by the constant pool — normally
+// transfers in full before any of the class's methods. Partitioning
+// splits it three ways:
+//
+//   - needed-first: the structural skeleton (header, interface/field/
+//     attribute tables, method headers, and the constants they name) that
+//     must precede any execution of the class;
+//   - per-method GlobalMethodData (GMD): the constant-pool entries first
+//     used by each method under the predicted order, placed immediately
+//     before that method in the stream; and
+//   - unused: entries no method and no structure references, shipped last.
+//
+// Table 9 reports these three shares; Table 10 and Figure 6 report the
+// execution-time effect of streaming GMDs instead of whole pools.
+package datapart
+
+import (
+	"fmt"
+
+	"nonstrict/internal/bytecode"
+	"nonstrict/internal/classfile"
+)
+
+// Partition is the result of partitioning every class of a program.
+type Partition struct {
+	// NeededFirst is the per-class byte count that must transfer before
+	// any method of the class may run.
+	NeededFirst map[string]int
+	// Unused is the per-class byte count of constants nothing references.
+	Unused map[string]int
+	// GMD is the per-method GlobalMethodData size in bytes.
+	GMD map[classfile.Ref]int
+	// GlobalTotal is each class's total global-data size (the partition
+	// invariant: NeededFirst + sum of GMDs + Unused == GlobalTotal).
+	GlobalTotal map[string]int
+}
+
+// Compute partitions every class of p. Method order within each class is
+// taken as the predicted first-use order, so call Compute on the
+// restructured program.
+func Compute(p *classfile.Program) (*Partition, error) {
+	pt := &Partition{
+		NeededFirst: make(map[string]int),
+		Unused:      make(map[string]int),
+		GMD:         make(map[classfile.Ref]int),
+		GlobalTotal: make(map[string]int),
+	}
+	for _, c := range p.Classes {
+		if err := pt.class(c); err != nil {
+			return nil, err
+		}
+	}
+	return pt, nil
+}
+
+func (pt *Partition) class(c *classfile.Class) error {
+	n := len(c.CP)
+	structural := make([]bool, n)
+	assigned := make([]bool, n)
+
+	// closure marks entry i and everything it references.
+	var closure func(i uint16, mark []bool) error
+	closure = func(i uint16, mark []bool) error {
+		if int(i) <= 0 || int(i) >= n {
+			return fmt.Errorf("datapart: class %s: constant index %d out of range", c.Name, i)
+		}
+		if mark[i] {
+			return nil
+		}
+		mark[i] = true
+		e := c.CP[i]
+		switch e.Kind {
+		case classfile.KClass, classfile.KString:
+			return closure(e.A, mark)
+		case classfile.KNameAndType:
+			if err := closure(e.A, mark); err != nil {
+				return err
+			}
+			return closure(e.B, mark)
+		case classfile.KFieldRef, classfile.KMethodRef, classfile.KInterfaceMethodRef:
+			if err := closure(e.A, mark); err != nil {
+				return err
+			}
+			return closure(e.B, mark)
+		}
+		return nil
+	}
+
+	// Structural skeleton: everything the class-level link step touches.
+	if err := closure(c.ThisClass, structural); err != nil {
+		return err
+	}
+	if c.SuperClass != 0 {
+		if err := closure(c.SuperClass, structural); err != nil {
+			return err
+		}
+	}
+	for _, i := range c.Interfaces {
+		if err := closure(i, structural); err != nil {
+			return err
+		}
+	}
+	for _, f := range c.Fields {
+		if err := closure(f.Name, structural); err != nil {
+			return err
+		}
+		if err := closure(f.Desc, structural); err != nil {
+			return err
+		}
+		for _, a := range f.Attrs {
+			if err := closure(a.Name, structural); err != nil {
+				return err
+			}
+		}
+	}
+	for _, a := range c.Attrs {
+		if err := closure(a.Name, structural); err != nil {
+			return err
+		}
+	}
+
+	// Per-method GMDs: constants first used by each method in file
+	// order. Structural entries are excluded — they are already in the
+	// needed-first section.
+	copy(assigned, structural)
+	layout := c.ComputeLayout()
+	bd := layout.Breakdown
+	structuralBytes := bd.FixedHeader + bd.Interfaces + bd.Fields + bd.Attrs + bd.MethodHeaders
+
+	for _, m := range c.Methods {
+		used := make([]bool, n)
+		if err := closure(m.Name, used); err != nil {
+			return err
+		}
+		if err := closure(m.Desc, used); err != nil {
+			return err
+		}
+		instrs, err := bytecode.Decode(m.Code)
+		if err != nil {
+			return fmt.Errorf("datapart: %s.%s: %w", c.Name, c.MethodName(m), err)
+		}
+		for _, in := range instrs {
+			switch in.Op {
+			case bytecode.LDC, bytecode.INVOKE, bytecode.GETSTATIC, bytecode.PUTSTATIC:
+				if err := closure(uint16(in.Arg), used); err != nil {
+					return err
+				}
+			}
+		}
+		gmd := 0
+		for i := 1; i < n; i++ {
+			if used[i] && !assigned[i] {
+				assigned[i] = true
+				gmd += c.CP[i].WireSize()
+			}
+		}
+		pt.GMD[classfile.Ref{Class: c.Name, Name: c.MethodName(m)}] = gmd
+	}
+
+	structuralCP := 0
+	unused := 0
+	for i := 1; i < n; i++ {
+		switch {
+		case structural[i]:
+			structuralCP += c.CP[i].WireSize()
+		case !assigned[i]:
+			unused += c.CP[i].WireSize()
+		}
+	}
+
+	pt.NeededFirst[c.Name] = structuralBytes + structuralCP
+	pt.Unused[c.Name] = unused
+	pt.GlobalTotal[c.Name] = layout.GlobalEnd
+	return nil
+}
+
+// Check verifies the partition invariant for every class: the three
+// shares exactly tile the global-data section.
+func (pt *Partition) Check(p *classfile.Program) error {
+	for _, c := range p.Classes {
+		sum := pt.NeededFirst[c.Name] + pt.Unused[c.Name]
+		for _, m := range c.Methods {
+			sum += pt.GMD[classfile.Ref{Class: c.Name, Name: c.MethodName(m)}]
+		}
+		if sum != pt.GlobalTotal[c.Name] {
+			return fmt.Errorf("datapart: class %s: partition sums to %d, global data is %d",
+				c.Name, sum, pt.GlobalTotal[c.Name])
+		}
+	}
+	return nil
+}
+
+// Summary aggregates partition shares for Table 9.
+type Summary struct {
+	GlobalBytes      int
+	NeededFirstBytes int
+	InMethodsBytes   int
+	UnusedBytes      int
+}
+
+// Summarize totals the partition across all classes of p.
+func (pt *Partition) Summarize(p *classfile.Program) Summary {
+	var s Summary
+	for _, c := range p.Classes {
+		s.GlobalBytes += pt.GlobalTotal[c.Name]
+		s.NeededFirstBytes += pt.NeededFirst[c.Name]
+		s.UnusedBytes += pt.Unused[c.Name]
+		for _, m := range c.Methods {
+			s.InMethodsBytes += pt.GMD[classfile.Ref{Class: c.Name, Name: c.MethodName(m)}]
+		}
+	}
+	return s
+}

@@ -1,0 +1,186 @@
+package datapart
+
+import (
+	"testing"
+
+	"nonstrict/internal/classfile"
+	"nonstrict/internal/jir"
+)
+
+func compile(t *testing.T, p *jir.Program) *classfile.Program {
+	t.Helper()
+	cp, err := jir.Compile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cp
+}
+
+func fixture(t *testing.T) *classfile.Program {
+	return compile(t, &jir.Program{Name: "dp", Main: "M", Classes: []*jir.Class{
+		{Name: "M", Fields: []string{"out"}, Funcs: []*jir.Func{
+			// main uses a big pooled constant and a call.
+			{Name: "main", Body: jir.Block(
+				jir.SetG("M", "out", jir.I(1_000_000_007)),
+				jir.Do(jir.Call("M", "strUser")),
+				jir.Halt(),
+			)},
+			// strUser pulls a long string constant into the pool.
+			{Name: "strUser", Body: jir.Block(
+				jir.Let("s", jir.Str("a rather long constant-pool string payload")),
+				jir.RetV(),
+			)},
+			// reuser re-references entries first used by earlier methods;
+			// its GMD must not double-count them.
+			{Name: "reuser", Body: jir.Block(
+				jir.Let("s", jir.Str("a rather long constant-pool string payload")),
+				jir.Let("x", jir.I(1_000_000_007)),
+				jir.RetV(),
+			)},
+		},
+			UnusedStrings: []string{"dead weight string"},
+			UnusedInts:    []int64{123456789},
+		},
+		{Name: "N", Funcs: []*jir.Func{
+			{Name: "f", Body: jir.Block(jir.RetV())},
+		}},
+	}})
+}
+
+func TestPartitionInvariant(t *testing.T) {
+	cp := fixture(t)
+	pt, err := Compute(cp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pt.Check(cp); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNeededFirstPositiveAndBounded(t *testing.T) {
+	cp := fixture(t)
+	pt, err := Compute(cp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range cp.Classes {
+		nf := pt.NeededFirst[c.Name]
+		if nf <= 0 {
+			t.Errorf("class %s needed-first %d", c.Name, nf)
+		}
+		if nf >= pt.GlobalTotal[c.Name] && len(c.Methods) > 0 && c.Name == "M" {
+			t.Errorf("class %s needed-first %d not smaller than global %d",
+				c.Name, nf, pt.GlobalTotal[c.Name])
+		}
+	}
+}
+
+func TestUnusedEntriesCounted(t *testing.T) {
+	cp := fixture(t)
+	pt, err := Compute(cp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The unused string ("dead weight string": String 3 + Utf8 3+18) and
+	// unused int (Integer 5) must land in the unused bucket.
+	wantMin := 3 + (3 + len("dead weight string")) + 5
+	if pt.Unused["M"] < wantMin {
+		t.Errorf("unused bytes %d, want at least %d", pt.Unused["M"], wantMin)
+	}
+	if pt.Unused["N"] != 0 {
+		t.Errorf("class N unused %d, want 0", pt.Unused["N"])
+	}
+}
+
+func TestGMDFirstUseAssignment(t *testing.T) {
+	cp := fixture(t)
+	pt, err := Compute(cp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mainGMD := pt.GMD[classfile.Ref{Class: "M", Name: "main"}]
+	strGMD := pt.GMD[classfile.Ref{Class: "M", Name: "strUser"}]
+	reGMD := pt.GMD[classfile.Ref{Class: "M", Name: "reuser"}]
+	// main's GMD carries the big integer and the call/field refs.
+	if mainGMD <= 0 {
+		t.Errorf("main GMD = %d", mainGMD)
+	}
+	// strUser's GMD carries the long string (>40 bytes of Utf8).
+	if strGMD < 40 {
+		t.Errorf("strUser GMD = %d, want >= 40", strGMD)
+	}
+	// reuser references only already-assigned entries plus its own
+	// name/descriptor; its GMD must be far smaller than strUser's.
+	if reGMD >= strGMD {
+		t.Errorf("reuser GMD %d not smaller than strUser GMD %d", reGMD, strGMD)
+	}
+}
+
+func TestGMDDependsOnMethodOrder(t *testing.T) {
+	cp := fixture(t)
+	// Reverse M's methods: now reuser (moved first) becomes the first
+	// user of the shared entries.
+	c := cp.Class("M")
+	for i, j := 0, len(c.Methods)-1; i < j; i, j = i+1, j-1 {
+		c.Methods[i], c.Methods[j] = c.Methods[j], c.Methods[i]
+	}
+	pt, err := Compute(cp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pt.Check(cp); err != nil {
+		t.Fatal(err)
+	}
+	reGMD := pt.GMD[classfile.Ref{Class: "M", Name: "reuser"}]
+	strGMD := pt.GMD[classfile.Ref{Class: "M", Name: "strUser"}]
+	if reGMD <= strGMD {
+		t.Errorf("after reorder, reuser GMD %d should exceed strUser GMD %d", reGMD, strGMD)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	cp := fixture(t)
+	pt, err := Compute(cp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := pt.Summarize(cp)
+	if s.NeededFirstBytes+s.InMethodsBytes+s.UnusedBytes != s.GlobalBytes {
+		t.Errorf("summary does not tile: %+v", s)
+	}
+	var wantGlobal int
+	for _, c := range cp.Classes {
+		wantGlobal += c.GlobalSize()
+	}
+	if s.GlobalBytes != wantGlobal {
+		t.Errorf("GlobalBytes %d, want %d", s.GlobalBytes, wantGlobal)
+	}
+}
+
+func TestComputeRejectsDanglingReferences(t *testing.T) {
+	cp := fixture(t)
+	// Corrupt a MethodRef to point beyond the pool.
+	c := cp.Class("M")
+	for i := 1; i < len(c.CP); i++ {
+		if c.CP[i].Kind == classfile.KMethodRef {
+			c.CP[i].B = 9999
+			break
+		}
+	}
+	if _, err := Compute(cp); err == nil {
+		t.Fatal("Compute accepted a dangling constant reference")
+	}
+}
+
+func TestCheckDetectsBrokenPartition(t *testing.T) {
+	cp := fixture(t)
+	pt, err := Compute(cp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt.NeededFirst["M"] += 7
+	if err := pt.Check(cp); err == nil {
+		t.Fatal("Check accepted a non-tiling partition")
+	}
+}

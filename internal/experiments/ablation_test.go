@@ -1,0 +1,122 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAblationHeuristic(t *testing.T) {
+	rows, err := suite(t).AblationHeuristic()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	var fullBetter, plainBetter int
+	for _, r := range rows {
+		for li := 0; li < 2; li++ {
+			if r.FullPct[li] <= 0 || r.PlainPct[li] <= 0 {
+				t.Errorf("%s: non-positive normalized time", r.Name)
+			}
+			switch {
+			case r.FullPct[li] < r.PlainPct[li]-0.5:
+				fullBetter++
+			case r.PlainPct[li] < r.FullPct[li]-0.5:
+				plainBetter++
+			}
+		}
+		if r.FullAgree < 0 || r.FullAgree > 1 || r.PlainAgree < 0 || r.PlainAgree > 1 {
+			t.Errorf("%s: agreement out of range", r.Name)
+		}
+	}
+	// The loop heuristics must win overall (the paper's §4.1 rationale).
+	if fullBetter <= plainBetter {
+		t.Errorf("full heuristics better in %d cases, plain in %d — heuristics should dominate",
+			fullBetter, plainBetter)
+	}
+	// JHLZip is loop-structured; the heuristics should predict it far
+	// more accurately than a plain DFS does.
+	for _, r := range rows {
+		if r.Name == "JHLZip" && r.FullAgree < r.PlainAgree+0.2 {
+			t.Errorf("JHLZip: full agreement %.2f not clearly above plain %.2f", r.FullAgree, r.PlainAgree)
+		}
+	}
+	if out := RenderAblationHeuristic(rows); !strings.Contains(out, "JHLZip") {
+		t.Error("render missing rows")
+	}
+}
+
+func TestBandwidthSweep(t *testing.T) {
+	points := []int64{100, 3815, 134698, 1000000}
+	rows, err := suite(t).BandwidthSweep(points)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(points) {
+		t.Fatalf("points = %d", len(rows))
+	}
+	// Normalized time improves (decreases) monotonically as the link
+	// slows: there is more transfer to hide or avoid.
+	for i := 1; i < len(rows); i++ {
+		if rows[i].AvgPct > rows[i-1].AvgPct+0.5 {
+			t.Errorf("sweep not monotone: %.1f%% at %d cpb, %.1f%% at %d cpb",
+				rows[i-1].AvgPct, rows[i-1].CyclesPerByte, rows[i].AvgPct, rows[i].CyclesPerByte)
+		}
+	}
+	// At very high bandwidth the benefit vanishes; at very low it
+	// converges to the never-needed-bytes bound, well below strict.
+	if rows[0].AvgPct < 90 {
+		t.Errorf("fast link average %.1f%%, expected near strict", rows[0].AvgPct)
+	}
+	if last := rows[len(rows)-1].AvgPct; last > 90 || last < 50 {
+		t.Errorf("slow link average %.1f%%, expected to converge in (50, 90)", last)
+	}
+	// Latency reduction is bandwidth-independent (both sides scale with
+	// cycles-per-byte).
+	for _, r := range rows {
+		if r.AvgLatencyPct < 25 || r.AvgLatencyPct > 90 {
+			t.Errorf("latency reduction %.1f%% at %d cpb out of plausible band", r.AvgLatencyPct, r.CyclesPerByte)
+		}
+	}
+	if out := RenderBandwidthSweep(rows); !strings.Contains(out, "<- T1") {
+		t.Error("render missing T1 marker")
+	}
+}
+
+func TestAblationBlockDelimiters(t *testing.T) {
+	rows, err := suite(t).AblationBlockDelimiters()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.Blocks < r.Methods {
+			t.Errorf("%s: %d blocks < %d methods", r.Name, r.Blocks, r.Methods)
+		}
+		if r.SizeIncreasePct < 0 || r.SizeIncreasePct > 25 {
+			t.Errorf("%s: size increase %.1f%% implausible", r.Name, r.SizeIncreasePct)
+		}
+		if r.CheckOverheadPct < 0 || r.CheckOverheadPct > 5 {
+			t.Errorf("%s: check overhead %.2f%% implausible", r.Name, r.CheckOverheadPct)
+		}
+	}
+	// The paper's conclusion: per-block delimiters cost real bytes while
+	// the average latency benefit stays marginal. Assert the aggregate
+	// trade-off: mean size increase exceeds zero while mean latency gain
+	// stays under a third of the method-level latency.
+	var size, lat float64
+	for _, r := range rows {
+		size += r.SizeIncreasePct
+		lat += r.LatencyGainPct
+	}
+	n := float64(len(rows))
+	if size/n <= 0 {
+		t.Error("no size cost measured")
+	}
+	if lat/n > 33 {
+		t.Errorf("average latency gain %.1f%% — block granularity unexpectedly valuable", lat/n)
+	}
+	if out := RenderBlockDelimiters(rows); !strings.Contains(out, "blocks") {
+		t.Error("render broken")
+	}
+}

@@ -1,0 +1,317 @@
+// Package experiments reproduces the paper's evaluation: one generator
+// per table and figure (Tables 1–10, Figure 6), each driving the full
+// pipeline — compile the workload, profile it in the VM, predict
+// first-use orders (static call graph, train profile, test profile),
+// restructure, partition, schedule, and co-simulate transfer with
+// execution over the T1 and modem links.
+//
+// As in the paper, all simulation results replay the test input; the
+// Train configuration differs only in which profile guided the
+// restructuring and transfer schedule.
+package experiments
+
+import (
+	"fmt"
+	"sync"
+
+	"nonstrict/internal/apps"
+	"nonstrict/internal/cfg"
+	"nonstrict/internal/classfile"
+	"nonstrict/internal/datapart"
+	"nonstrict/internal/jir"
+	"nonstrict/internal/reorder"
+	"nonstrict/internal/restructure"
+	"nonstrict/internal/sim"
+	"nonstrict/internal/transfer"
+	"nonstrict/internal/vm"
+)
+
+// OrderKind selects the first-use predictor (paper §4).
+type OrderKind int
+
+const (
+	SCG   OrderKind = iota // static call-graph estimation
+	Train                  // profile from the train input
+	Test                   // profile from the test input (perfect)
+)
+
+func (k OrderKind) String() string {
+	switch k {
+	case SCG:
+		return "SCG"
+	case Train:
+		return "Train"
+	case Test:
+		return "Test"
+	}
+	return fmt.Sprintf("OrderKind(%d)", int(k))
+}
+
+// EngineKind selects the transfer methodology (paper §5).
+type EngineKind int
+
+const (
+	Sequential  EngineKind = iota // one file at a time, in first-use order
+	Parallel                      // scheduled parallel file transfer
+	Interleaved                   // single virtual interleaved file
+)
+
+// Variant is one simulated configuration.
+type Variant struct {
+	Order  OrderKind
+	Engine EngineKind
+	Mode   transfer.Mode
+	Limit  int // parallel concurrency cap; 0 = unlimited
+	Link   transfer.Link
+}
+
+// prepared caches the restructured program and derived structures for
+// one predictor order.
+type prepared struct {
+	order *reorder.Order
+	prog  *classfile.Program
+	lay   *restructure.Layouts
+	part  *datapart.Partition
+}
+
+// Bench is one workload, fully measured and ready to simulate.
+type Bench struct {
+	App  *apps.App
+	Prog *classfile.Program
+	Ix   *classfile.Index
+	// Graphs holds the per-method CFGs used by the static estimator.
+	Graphs map[classfile.MethodID]*cfg.Graph
+
+	TestProfile  *vm.Profile
+	TrainProfile *vm.Profile
+	TestTrace    []vm.Segment
+
+	// TestMachine gives access to run results (for Table 2).
+	TestMachine, TrainMachine *vm.Machine
+
+	byOrder map[OrderKind]*prepared
+}
+
+// Load compiles, links, profiles (both inputs), and prepares all three
+// predictor orders for one benchmark.
+func Load(app *apps.App) (*Bench, error) {
+	prog, err := jir.Compile(app.IR)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: %s: %w", app.Name, err)
+	}
+	ln, err := vm.Link(prog)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: %s: %w", app.Name, err)
+	}
+	ix := ln.Index()
+
+	testM, err := ln.Run(vm.Options{Args: app.Args(false), Trace: true})
+	if err != nil {
+		return nil, fmt.Errorf("experiments: %s test run: %w", app.Name, err)
+	}
+	if err := app.Check(testM, false); err != nil {
+		return nil, fmt.Errorf("experiments: %s test self-check: %w", app.Name, err)
+	}
+	trainM, err := ln.Run(vm.Options{Args: app.Args(true)})
+	if err != nil {
+		return nil, fmt.Errorf("experiments: %s train run: %w", app.Name, err)
+	}
+	if err := app.Check(trainM, true); err != nil {
+		return nil, fmt.Errorf("experiments: %s train self-check: %w", app.Name, err)
+	}
+
+	graphs, err := cfg.BuildAll(ix)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: %s: %w", app.Name, err)
+	}
+	scg, err := reorder.Static(ix, graphs)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: %s: %w", app.Name, err)
+	}
+	trainOrd := reorder.FromProfile(ix, trainM.Profile().FirstUse, scg)
+	testOrd := reorder.FromProfile(ix, testM.Profile().FirstUse, scg)
+
+	b := &Bench{
+		App:          app,
+		Prog:         prog,
+		Ix:           ix,
+		Graphs:       graphs,
+		TestProfile:  testM.Profile(),
+		TrainProfile: trainM.Profile(),
+		TestTrace:    testM.Trace(),
+		TestMachine:  testM,
+		TrainMachine: trainM,
+		byOrder:      make(map[OrderKind]*prepared, 3),
+	}
+	for kind, ord := range map[OrderKind]*reorder.Order{SCG: scg, Train: trainOrd, Test: testOrd} {
+		if err := ord.Validate(ix); err != nil {
+			return nil, fmt.Errorf("experiments: %s %v order: %w", app.Name, kind, err)
+		}
+		rp := restructure.Apply(prog, ix, ord)
+		part, err := datapart.Compute(rp)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %s %v partition: %w", app.Name, kind, err)
+		}
+		if err := part.Check(rp); err != nil {
+			return nil, fmt.Errorf("experiments: %s %v partition: %w", app.Name, kind, err)
+		}
+		b.byOrder[kind] = &prepared{
+			order: ord,
+			prog:  rp,
+			lay:   restructure.ComputeLayouts(rp),
+			part:  part,
+		}
+	}
+	return b, nil
+}
+
+// Prepared exposes the restructured artifacts for one predictor.
+func (b *Bench) Prepared(k OrderKind) (*reorder.Order, *classfile.Program, *restructure.Layouts, *datapart.Partition) {
+	p := b.byOrder[k]
+	return p.order, p.prog, p.lay, p.part
+}
+
+// covered returns the profiled unique executed code bytes used by the
+// transfer schedule, or nil for the static variant.
+func (b *Bench) covered(k OrderKind) []int {
+	switch k {
+	case Train:
+		return b.TrainProfile.CoveredBytes
+	case Test:
+		return b.TestProfile.CoveredBytes
+	default:
+		return nil
+	}
+}
+
+// TestInstrs is the dynamic instruction count of the test input.
+func (b *Bench) TestInstrs() int64 { return b.TestProfile.TotalInstrs }
+
+// ExecCycles is the pure execution time of the test input.
+func (b *Bench) ExecCycles() int64 { return b.TestInstrs() * b.App.CPI }
+
+// StrictTotal is the paper's baseline: full transfer followed by full
+// execution, with no overlap (Table 3).
+func (b *Bench) StrictTotal(link transfer.Link) int64 {
+	_, total := sim.StrictBaseline(b.Prog.TotalSize(), b.TestInstrs(), b.App.CPI, link)
+	return total
+}
+
+// TransferCycles is the time to transfer the whole program.
+func (b *Bench) TransferCycles(link transfer.Link) int64 {
+	tr, _ := sim.StrictBaseline(b.Prog.TotalSize(), b.TestInstrs(), b.App.CPI, link)
+	return tr
+}
+
+// Simulate runs one configuration against the test trace.
+func (b *Bench) Simulate(v Variant) (sim.Result, error) {
+	p, ok := b.byOrder[v.Order]
+	if !ok {
+		return sim.Result{}, fmt.Errorf("experiments: unknown order %v", v.Order)
+	}
+	return b.simulate(p, b.covered(v.Order), v)
+}
+
+// prepareOrder builds the restructured artifacts for an arbitrary
+// first-use order (used by the ablation studies).
+func (b *Bench) prepareOrder(ord *reorder.Order) (*prepared, error) {
+	if err := ord.Validate(b.Ix); err != nil {
+		return nil, fmt.Errorf("experiments: %s: %w", b.App.Name, err)
+	}
+	rp := restructure.Apply(b.Prog, b.Ix, ord)
+	part, err := datapart.Compute(rp)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: %s: %w", b.App.Name, err)
+	}
+	if err := part.Check(rp); err != nil {
+		return nil, fmt.Errorf("experiments: %s: %w", b.App.Name, err)
+	}
+	return &prepared{order: ord, prog: rp, lay: restructure.ComputeLayouts(rp), part: part}, nil
+}
+
+// SimulateOrder runs one configuration under an explicit first-use order
+// (v.Order is ignored). covered may carry profiled unique bytes for the
+// transfer schedule, or nil for static estimates.
+func (b *Bench) SimulateOrder(ord *reorder.Order, covered []int, v Variant) (sim.Result, error) {
+	p, err := b.prepareOrder(ord)
+	if err != nil {
+		return sim.Result{}, err
+	}
+	return b.simulate(p, covered, v)
+}
+
+func (b *Bench) simulate(p *prepared, covered []int, v Variant) (sim.Result, error) {
+	var part *datapart.Partition
+	if v.Mode == transfer.Partitioned {
+		part = p.part
+	}
+	files, err := transfer.BuildFiles(p.prog, p.lay, v.Mode, part)
+	if err != nil {
+		return sim.Result{}, err
+	}
+	var eng transfer.Engine
+	switch v.Engine {
+	case Sequential:
+		eng, err = transfer.NewSequential(p.order.ClassOrder(b.Ix), files, v.Link)
+	case Parallel:
+		var sched *transfer.Schedule
+		sched, err = transfer.BuildSchedule(p.order, b.Ix, files, p.lay, part, covered)
+		if err == nil {
+			eng, err = transfer.NewParallel(sched, files, v.Link, v.Limit)
+		}
+	case Interleaved:
+		eng = transfer.NewInterleaved(p.order, b.Ix, p.lay, part, v.Link)
+	default:
+		err = fmt.Errorf("experiments: unknown engine %d", v.Engine)
+	}
+	if err != nil {
+		return sim.Result{}, err
+	}
+	return sim.Run(b.TestTrace, b.Ix, eng, b.App.CPI)
+}
+
+// Normalized returns the percent-of-strict execution time for one
+// configuration (Tables 5–7 and 10 report this number).
+func (b *Bench) Normalized(v Variant) (float64, error) {
+	res, err := b.Simulate(v)
+	if err != nil {
+		return 0, err
+	}
+	return 100 * float64(res.TotalCycles) / float64(b.StrictTotal(v.Link)), nil
+}
+
+// Suite loads every benchmark once and caches it.
+type Suite struct {
+	once    sync.Once
+	benches []*Bench
+	err     error
+}
+
+// Benches returns all six workloads, loading them on first use.
+func (s *Suite) Benches() ([]*Bench, error) {
+	s.once.Do(func() {
+		for _, app := range apps.All() {
+			b, err := Load(app)
+			if err != nil {
+				s.err = err
+				return
+			}
+			s.benches = append(s.benches, b)
+		}
+	})
+	return s.benches, s.err
+}
+
+// Bench returns one workload by name.
+func (s *Suite) Bench(name string) (*Bench, error) {
+	bs, err := s.Benches()
+	if err != nil {
+		return nil, err
+	}
+	for _, b := range bs {
+		if b.App.Name == name {
+			return b, nil
+		}
+	}
+	return nil, fmt.Errorf("experiments: unknown benchmark %q", name)
+}

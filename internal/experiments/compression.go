@@ -1,0 +1,109 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"nonstrict/internal/transfer"
+)
+
+// Compression interaction study (paper §2.1): code compression is
+// latency *avoidance* where non-strict execution is latency *tolerance*;
+// the paper argues they compose. The model: every wire byte shrinks by
+// Ratio and costs Decompress extra cycles to expand on arrival, so the
+// effective link is cyclesPerByte/Ratio + Decompress per uncompressed
+// byte. Results are normalized against the UNCOMPRESSED strict baseline
+// so the four configurations are directly comparable.
+
+// CompressionConfig models the wire codec.
+type CompressionConfig struct {
+	// Ratio is the compression factor (gzip on class files: ~2.5).
+	Ratio float64
+	// Decompress is the inflation cost in cycles per uncompressed byte.
+	Decompress int64
+}
+
+// DefaultCompression approximates gzip: factor 2.5, cheap inflation.
+var DefaultCompression = CompressionConfig{Ratio: 2.5, Decompress: 30}
+
+// effectiveLink returns the link as seen through the codec.
+func (c CompressionConfig) effectiveLink(link transfer.Link) transfer.Link {
+	return transfer.Link{
+		Name:          link.Name + "+zip",
+		CyclesPerByte: int64(float64(link.CyclesPerByte)/c.Ratio) + c.Decompress,
+	}
+}
+
+// CompressionRow compares the four configurations for one benchmark,
+// per link, as percent of the uncompressed strict baseline.
+type CompressionRow struct {
+	Name string
+	// Columns: strict+comp, non-strict, non-strict+comp ("strict
+	// uncompressed" is the 100% reference). [link][column].
+	Pct [2][3]float64
+}
+
+// CompressionStudy measures latency-avoidance (compression),
+// latency-tolerance (non-strict interleaved transfer, test profile),
+// and their composition.
+func (s *Suite) CompressionStudy(cfg CompressionConfig) ([]CompressionRow, error) {
+	if cfg.Ratio < 1 {
+		return nil, fmt.Errorf("experiments: compression ratio %v below 1", cfg.Ratio)
+	}
+	bs, err := s.Benches()
+	if err != nil {
+		return nil, err
+	}
+	var rows []CompressionRow
+	for _, b := range bs {
+		r := CompressionRow{Name: b.App.Name}
+		for li, link := range Links {
+			base := float64(b.StrictTotal(link))
+			zl := cfg.effectiveLink(link)
+
+			// Strict + compression: all (compressed) bytes, then run.
+			strictZip := float64(int64(b.Prog.TotalSize())*zl.CyclesPerByte + b.ExecCycles())
+
+			ns, err := b.Simulate(Variant{Order: Test, Engine: Interleaved, Mode: transfer.NonStrict, Link: link})
+			if err != nil {
+				return nil, err
+			}
+			nsZip, err := b.Simulate(Variant{Order: Test, Engine: Interleaved, Mode: transfer.NonStrict, Link: zl})
+			if err != nil {
+				return nil, err
+			}
+			r.Pct[li] = [3]float64{
+				100 * strictZip / base,
+				100 * float64(ns.TotalCycles) / base,
+				100 * float64(nsZip.TotalCycles) / base,
+			}
+		}
+		rows = append(rows, r)
+	}
+	avg := CompressionRow{Name: "AVG"}
+	for li := 0; li < 2; li++ {
+		for c := 0; c < 3; c++ {
+			for _, r := range rows {
+				avg.Pct[li][c] += r.Pct[li][c]
+			}
+			avg.Pct[li][c] /= float64(len(rows))
+		}
+	}
+	return append(rows, avg), nil
+}
+
+// RenderCompression formats the study.
+func RenderCompression(cfg CompressionConfig, rows []CompressionRow) string {
+	var b strings.Builder
+	b.WriteString(header(fmt.Sprintf(
+		"Extension: compression x non-strictness (ratio %.1fx, inflate %d cyc/byte; %% of uncompressed strict)",
+		cfg.Ratio, cfg.Decompress)))
+	fmt.Fprintf(&b, "%-9s | %8s %9s %9s | %8s %9s %9s\n",
+		"", "T1 zip", "nonstrict", "both", "Mo zip", "nonstrict", "both")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-9s | %8.0f %9.0f %9.0f | %8.0f %9.0f %9.0f\n",
+			r.Name, r.Pct[0][0], r.Pct[0][1], r.Pct[0][2],
+			r.Pct[1][0], r.Pct[1][1], r.Pct[1][2])
+	}
+	return b.String()
+}

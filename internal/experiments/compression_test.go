@@ -1,0 +1,49 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCompressionStudy(t *testing.T) {
+	rows, err := suite(t).CompressionStudy(DefaultCompression)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 7 || rows[6].Name != "AVG" {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		for li := 0; li < 2; li++ {
+			zip, ns, both := r.Pct[li][0], r.Pct[li][1], r.Pct[li][2]
+			if zip <= 0 || ns <= 0 || both <= 0 {
+				t.Errorf("%s: non-positive entries", r.Name)
+			}
+			// Compression alone must beat the uncompressed baseline on
+			// transfer-bound programs; the combination must beat either
+			// technique alone (the paper's complementarity claim).
+			if both > zip+0.5 {
+				t.Errorf("%s link %d: both %.1f worse than compression alone %.1f", r.Name, li, both, zip)
+			}
+			if both > ns+0.5 {
+				t.Errorf("%s link %d: both %.1f worse than non-strict alone %.1f", r.Name, li, both, ns)
+			}
+		}
+	}
+	// On the modem the average combination must land well below either
+	// single technique.
+	avg := rows[6]
+	if avg.Pct[1][2] > avg.Pct[1][0]-3 || avg.Pct[1][2] > avg.Pct[1][1]-3 {
+		t.Errorf("modem averages do not compose: zip %.1f ns %.1f both %.1f",
+			avg.Pct[1][0], avg.Pct[1][1], avg.Pct[1][2])
+	}
+	if out := RenderCompression(DefaultCompression, rows); !strings.Contains(out, "both") {
+		t.Error("render broken")
+	}
+}
+
+func TestCompressionStudyValidation(t *testing.T) {
+	if _, err := suite(t).CompressionStudy(CompressionConfig{Ratio: 0.5}); err == nil {
+		t.Error("sub-unity ratio accepted")
+	}
+}

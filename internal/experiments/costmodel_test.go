@@ -1,0 +1,60 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPerMethodCPIPreservesExecCycles(t *testing.T) {
+	bs, err := suite(t).Benches()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range bs {
+		cpis, err := b.PerMethodCPI()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var mixExec int64
+		for id, n := range b.TestProfile.MethodInstrs {
+			mixExec += n * cpis[id]
+		}
+		flatExec := b.ExecCycles()
+		ratio := float64(mixExec) / float64(flatExec)
+		// Rounding to integral per-method CPIs moves the total a little;
+		// it must stay close to the flat model.
+		if ratio < 0.90 || ratio > 1.10 {
+			t.Errorf("%s: opcode-mix exec cycles %.2fx flat", b.App.Name, ratio)
+		}
+		for id, c := range cpis {
+			if c < 1 {
+				t.Fatalf("%s: method %d has CPI %d", b.App.Name, id, c)
+			}
+		}
+	}
+}
+
+func TestCostModelStudy(t *testing.T) {
+	rows, err := suite(t).CostModelStudy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.CPISpread < 1 {
+			t.Errorf("%s: CPI spread %.2f", r.Name, r.CPISpread)
+		}
+		for li := 0; li < 2; li++ {
+			// The paper's flat-CPI methodology is robust: refining the
+			// cost model must not overturn the headline results.
+			if d := r.MixPct[li] - r.FlatPct[li]; d > 8 || d < -8 {
+				t.Errorf("%s link %d: per-opcode model moved the result by %.1f points", r.Name, li, d)
+			}
+		}
+	}
+	if out := RenderCostModel(rows); !strings.Contains(out, "spread") {
+		t.Error("render broken")
+	}
+}

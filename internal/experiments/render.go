@@ -1,0 +1,185 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Render functions produce paper-style plain-text tables.
+
+func header(title string) string {
+	return title + "\n" + strings.Repeat("-", len(title)) + "\n"
+}
+
+// RenderTable1 formats the benchmark roster.
+func RenderTable1(rows []Table1Row) string {
+	var b strings.Builder
+	b.WriteString(header("Table 1: Description of Benchmarks Used"))
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-9s %s\n", r.Name, r.Description)
+	}
+	return b.String()
+}
+
+// RenderTable2 formats the benchmark statistics.
+func RenderTable2(rows []Table2Row) string {
+	var b strings.Builder
+	b.WriteString(header("Table 2: General Statistics for the Benchmarks"))
+	fmt.Fprintf(&b, "%-9s %6s %8s %14s %10s %7s %8s %7s\n",
+		"Program", "Files", "Size KB", "Dyn K Test(Train)", "Static K", "% Exec", "Methods", "I/Meth")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-9s %6d %8.1f %8.0f (%5.0f) %10.1f %7.0f %8d %7.0f\n",
+			r.Name, r.Files, r.SizeKB, r.DynTestK, r.DynTrainK,
+			r.StaticK, r.PctExecuted, r.Methods, r.InstrsPerMethod)
+	}
+	return b.String()
+}
+
+// RenderTable3 formats the base-case statistics.
+func RenderTable3(rows []Table3Row) string {
+	var b strings.Builder
+	b.WriteString(header("Table 3: Base Case Statistics (cycles in millions)"))
+	fmt.Fprintf(&b, "%-9s %5s %8s | %9s %9s %6s | %9s %9s %6s\n",
+		"Program", "CPI", "Exec", "T1 Xfer", "T1 Strict", "%Xfer", "Mod Xfer", "Mod Strict", "%Xfer")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-9s %5d %8.0f | %9.0f %9.0f %6.1f | %9.0f %9.0f %6.1f\n",
+			r.Name, r.CPI, r.ExecM,
+			r.TransferM[0], r.StrictM[0], r.PctTransfer[0],
+			r.TransferM[1], r.StrictM[1], r.PctTransfer[1])
+	}
+	return b.String()
+}
+
+// RenderTable4 formats invocation latency.
+func RenderTable4(rows []Table4Row) string {
+	var b strings.Builder
+	b.WriteString(header("Table 4: Invocation Latency (millions of cycles; % decrease vs strict)"))
+	fmt.Fprintf(&b, "%-9s | %8s %14s %14s | %8s %14s %14s\n",
+		"", "T1Strict", "NonStrict", "DataPart", "ModStrict", "NonStrict", "DataPart")
+	var sums [6]float64
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-9s | %8.1f %7.1f (%3.0f%%) %7.1f (%3.0f%%) | %8.0f %7.0f (%3.0f%%) %7.0f (%3.0f%%)\n",
+			r.Name,
+			r.StrictM[0], r.NonStrictM[0], r.NonStrictPct[0], r.DataPartM[0], r.DataPartPct[0],
+			r.StrictM[1], r.NonStrictM[1], r.NonStrictPct[1], r.DataPartM[1], r.DataPartPct[1])
+		sums[0] += r.StrictM[0]
+		sums[1] += r.NonStrictM[0]
+		sums[2] += r.DataPartM[0]
+		sums[3] += r.StrictM[1]
+		sums[4] += r.NonStrictM[1]
+		sums[5] += r.DataPartM[1]
+	}
+	n := float64(len(rows))
+	fmt.Fprintf(&b, "%-9s | %8.1f %7.1f (%3.0f%%) %7.1f (%3.0f%%) | %8.0f %7.0f (%3.0f%%) %7.0f (%3.0f%%)\n",
+		"AVG",
+		sums[0]/n, sums[1]/n, 100*(1-sums[1]/sums[0]), sums[2]/n, 100*(1-sums[2]/sums[0]),
+		sums[3]/n, sums[4]/n, 100*(1-sums[4]/sums[3]), sums[5]/n, 100*(1-sums[5]/sums[3]))
+	return b.String()
+}
+
+// RenderParallel formats Table 5 or 6.
+func RenderParallel(title string, rows []ParallelRow) string {
+	var b strings.Builder
+	b.WriteString(header(title))
+	fmt.Fprintf(&b, "%-9s | %5s %5s %5s %5s | %5s %5s %5s %5s | %5s %5s %5s %5s\n",
+		"", "SCG-1", "2", "4", "inf", "Trn-1", "2", "4", "inf", "Tst-1", "2", "4", "inf")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-9s |", r.Name)
+		for oi := 0; oi < 3; oi++ {
+			for li := 0; li < 4; li++ {
+				fmt.Fprintf(&b, " %5.0f", r.Pct[oi][li])
+			}
+			fmt.Fprintf(&b, " |")
+		}
+		fmt.Fprintln(&b)
+	}
+	return b.String()
+}
+
+// RenderTable7 formats the interleaved-transfer results.
+func RenderTable7(rows []InterleavedRow) string {
+	var b strings.Builder
+	b.WriteString(header("Table 7: Normalized Execution Time for Interleaved File Transfer (%)"))
+	fmt.Fprintf(&b, "%-9s | %6s %6s %6s | %6s %6s %6s\n",
+		"", "T1 SCG", "Train", "Test", "Mo SCG", "Train", "Test")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-9s | %6.0f %6.0f %6.0f | %6.0f %6.0f %6.0f\n",
+			r.Name, r.Pct[0][0], r.Pct[0][1], r.Pct[0][2],
+			r.Pct[1][0], r.Pct[1][1], r.Pct[1][2])
+	}
+	return b.String()
+}
+
+// RenderTable8 formats the global-data breakdown.
+func RenderTable8(rows []Table8Row) string {
+	var b strings.Builder
+	b.WriteString(header("Table 8: Breakdown of Global Data and Constant Pool (%)"))
+	fmt.Fprintf(&b, "%-9s | %5s %5s %6s %5s | %5s %5s %5s %5s %5s %5s %5s %5s %5s %5s\n",
+		"", "CPool", "Field", "Attrib", "Intfc",
+		"Utf8", "Ints", "Float", "Dbl", "Str", "Class", "FRef", "MRef", "NandT", "IMRef")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-9s | %5.1f %5.1f %6.1f %5.1f | %5.1f %5.1f %5.1f %5.1f %5.1f %5.1f %5.1f %5.1f %5.1f %5.1f\n",
+			r.Name, r.CPool, r.Field, r.Attr, r.Intfc,
+			r.Utf8, r.Ints, r.Float, r.Double, r.Strings, r.Class, r.FRef, r.MRef, r.NandT, r.IMRef)
+	}
+	return b.String()
+}
+
+// RenderTable9 formats the data-partition shares.
+func RenderTable9(rows []Table9Row) string {
+	var b strings.Builder
+	b.WriteString(header("Table 9: Local vs Global Data and Partition Shares"))
+	fmt.Fprintf(&b, "%-9s %9s %9s %9s %9s %8s\n",
+		"Program", "Local KB", "Global KB", "%First", "%Methods", "%Unused")
+	var l, g, f, m, u float64
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-9s %9.1f %9.1f %9.0f %9.0f %8.0f\n",
+			r.Name, r.LocalKB, r.GlobalKB, r.PctNeededFirst, r.PctInMethods, r.PctUnused)
+		l += r.LocalKB
+		g += r.GlobalKB
+		f += r.PctNeededFirst
+		m += r.PctInMethods
+		u += r.PctUnused
+	}
+	n := float64(len(rows))
+	fmt.Fprintf(&b, "%-9s %9.1f %9.1f %9.0f %9.0f %8.0f\n", "AVG", l/n, g/n, f/n, m/n, u/n)
+	return b.String()
+}
+
+// RenderTable10 formats the data-partitioning results.
+func RenderTable10(rows []Table10Row) string {
+	var b strings.Builder
+	b.WriteString(header("Table 10: Normalized Execution Time with Partitioned Global Data (%)"))
+	b.WriteString("          |      Parallel (limit 4)       |          Interleaved\n")
+	fmt.Fprintf(&b, "%-9s | %5s %5s %5s  %5s %5s %5s | %5s %5s %5s  %5s %5s %5s\n",
+		"", "T1SCG", "Trn", "Tst", "MoSCG", "Trn", "Tst",
+		"T1SCG", "Trn", "Tst", "MoSCG", "Trn", "Tst")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-9s | %5.0f %5.0f %5.0f  %5.0f %5.0f %5.0f | %5.0f %5.0f %5.0f  %5.0f %5.0f %5.0f\n",
+			r.Name,
+			r.Parallel[0][0], r.Parallel[0][1], r.Parallel[0][2],
+			r.Parallel[1][0], r.Parallel[1][1], r.Parallel[1][2],
+			r.Interleaved[0][0], r.Interleaved[0][1], r.Interleaved[0][2],
+			r.Interleaved[1][0], r.Interleaved[1][1], r.Interleaved[1][2])
+	}
+	return b.String()
+}
+
+// RenderFigure6 draws the summary chart as text bars.
+func RenderFigure6(f *Figure6Bars) string {
+	var b strings.Builder
+	b.WriteString(header("Figure 6: Average Normalized Execution Time (% of strict; lower is better)"))
+	linkNames := []string{"T1 Link", "28.8 Baud Modem"}
+	orderNames := []string{"SCG", "TRAIN", "TEST"}
+	for li, ln := range linkNames {
+		fmt.Fprintf(&b, "%s\n", ln)
+		for oi, on := range orderNames {
+			for ti, tn := range Figure6Techniques {
+				v := f.Bars[li][oi][ti]
+				bar := strings.Repeat("#", int(v/2+0.5))
+				fmt.Fprintf(&b, "  %-5s %-26s %5.1f %s\n", on, tn, v, bar)
+			}
+		}
+	}
+	return b.String()
+}

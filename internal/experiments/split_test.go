@@ -1,0 +1,52 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestSplitStudy validates the procedure-splitting extension: splitting
+// must preserve semantics on every workload (Load re-runs the
+// self-checks), shrink method sizes where methods are large, and — as
+// the paper anticipated when it skipped splitting — leave the transfer
+// results essentially unchanged for programs with reasonably sized
+// methods.
+func TestSplitStudy(t *testing.T) {
+	rows, err := suite(t).SplitStudy(12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	byName := map[string]SplitRow{}
+	for _, r := range rows {
+		byName[r.Name] = r
+		if r.MethodsAfter != r.MethodsBefore+r.Continuations {
+			t.Errorf("%s: %d + %d continuations != %d methods",
+				r.Name, r.MethodsBefore, r.Continuations, r.MethodsAfter)
+		}
+		for li := 0; li < 2; li++ {
+			if d := r.TimePct[li][1] - r.TimePct[li][0]; d > 3 || d < -10 {
+				t.Errorf("%s: splitting moved normalized time by %.1f points", r.Name, d)
+			}
+		}
+	}
+	// TestDes has the largest methods; splitting must cut its mean
+	// method size sharply.
+	td := byName["TestDes"]
+	if td.Continuations == 0 {
+		t.Error("TestDes was not split")
+	}
+	if td.InstrsPerMethodAfter > td.InstrsPerMethodBefore*0.7 {
+		t.Errorf("TestDes instrs/method %.0f -> %.0f, expected a sharp cut",
+			td.InstrsPerMethodBefore, td.InstrsPerMethodAfter)
+	}
+	// Hanoi's methods are tiny; nothing to split.
+	if byName["Hanoi"].Continuations != 0 {
+		t.Errorf("Hanoi was split (%d continuations)", byName["Hanoi"].Continuations)
+	}
+	if out := RenderSplitStudy(12, rows); !strings.Contains(out, "TestDes") {
+		t.Error("render broken")
+	}
+}

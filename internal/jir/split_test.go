@@ -1,0 +1,161 @@
+package jir
+
+import (
+	"strings"
+	"testing"
+
+	"nonstrict/internal/vm"
+)
+
+func TestSplitLargePreservesSemantics(t *testing.T) {
+	// A value function with a long straight-line body and live state
+	// crossing the split point, plus loops and early returns.
+	body := []Stmt{
+		Let("a", I(1)), Let("b", I(2)), Let("c", I(3)),
+	}
+	for i := 0; i < 30; i++ {
+		body = append(body,
+			Let("a", Add(Mul(L("a"), I(3)), L("b"))),
+			Let("b", Xor(L("b"), Add(L("c"), I(int64(i))))),
+			Let("c", Sub(Mul(L("c"), I(5)), L("a"))),
+		)
+	}
+	body = append(body,
+		If(Lt(L("a"), I(0)), Block(Ret(Neg(L("a")))), nil),
+		Ret(Add(L("a"), Add(L("b"), L("c")))),
+	)
+	mk := func() *Program {
+		// Rebuild fresh ASTs each time; SplitLarge mutates the program.
+		b2 := append([]Stmt{}, body...)
+		return &Program{Name: "s", Main: "M", Classes: []*Class{{
+			Name:   "M",
+			Fields: []string{"out"},
+			Funcs: []*Func{
+				{Name: "big", NRet: 1, Body: b2, LocalData: 1000},
+				{Name: "main", Body: Block(
+					SetG("M", "out", Call("M", "big")),
+					Halt(),
+				)},
+			},
+		}}}
+	}
+
+	run := func(p *Program) int64 {
+		cp, err := Compile(p)
+		if err != nil {
+			t.Fatalf("compile: %v", err)
+		}
+		ln, err := vm.Link(cp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := ln.Run(vm.Options{MaxSteps: 1e7})
+		if err != nil {
+			t.Fatal(err)
+		}
+		v, err := m.Global("M", "out")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return v
+	}
+
+	want := run(mk())
+
+	split := mk()
+	n, err := SplitLarge(split, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n < 2 {
+		t.Fatalf("created %d continuations, expected several", n)
+	}
+	got := run(split)
+	if got != want {
+		t.Fatalf("split program computes %d, original %d", got, want)
+	}
+
+	// Structure: every body within budget or unsplittable; local data
+	// conserved.
+	var totalLD int
+	for _, f := range split.Classes[0].Funcs {
+		totalLD += f.LocalData
+		if len(f.Body) > 12+2 { // +2 for the appended call/return
+			t.Errorf("%s still has %d top-level statements", f.Name, len(f.Body))
+		}
+	}
+	if totalLD != 1000 {
+		t.Errorf("local data not conserved: %d", totalLD)
+	}
+	// Continuations are named and chained.
+	found := false
+	for _, f := range split.Classes[0].Funcs {
+		if strings.Contains(f.Name, "$c") {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("no continuation functions present")
+	}
+}
+
+func TestSplitLargeVoidWithHalt(t *testing.T) {
+	// Splitting across a Halt is legal: Halt stops the machine from the
+	// continuation too.
+	var body []Stmt
+	for i := 0; i < 20; i++ {
+		body = append(body, SetG("M", "out", Add(G("M", "out"), I(int64(i)))))
+	}
+	body = append(body, Halt())
+	p := &Program{Name: "h", Main: "M", Classes: []*Class{{
+		Name:   "M",
+		Fields: []string{"out"},
+		Funcs:  []*Func{{Name: "main", Body: body}},
+	}}}
+	n, err := SplitLarge(p, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n == 0 {
+		t.Fatal("nothing split")
+	}
+	cp, err := Compile(p)
+	if err != nil {
+		t.Fatalf("split program does not compile: %v", err)
+	}
+	ln, err := vm.Link(cp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := ln.Run(vm.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := m.Global("M", "out"); v != 190 { // sum 0..19
+		t.Errorf("out = %d, want 190", v)
+	}
+}
+
+func TestSplitLargeRejectsTinyBudget(t *testing.T) {
+	p := &Program{Name: "x", Main: "M", Classes: []*Class{{
+		Name:  "M",
+		Funcs: []*Func{{Name: "main", Body: Block(Halt())}},
+	}}}
+	if _, err := SplitLarge(p, 1); err == nil {
+		t.Error("budget 1 accepted")
+	}
+}
+
+func TestSplitLargeLeavesSmallFunctionsAlone(t *testing.T) {
+	p := &Program{Name: "x", Main: "M", Classes: []*Class{{
+		Name:  "M",
+		Funcs: []*Func{{Name: "main", Body: Block(Let("a", I(1)), Halt())}},
+	}}}
+	n, err := SplitLarge(p, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 || len(p.Classes[0].Funcs) != 1 {
+		t.Errorf("small function was split (%d continuations)", n)
+	}
+}

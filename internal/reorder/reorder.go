@@ -1,0 +1,272 @@
+// Package reorder predicts the first-use order of a program's methods.
+//
+// The paper evaluates two predictors (§4): a static call-graph estimator —
+// a modified depth-first traversal of the interprocedural control-flow
+// graph that prefers paths containing more static loops and walks loop
+// bodies before loop exits — and a profile-guided predictor that replays
+// the first-use order observed on a training input, falling back to the
+// static order for methods the profile never saw. The resulting Order is
+// the input to class-file restructuring and to the transfer schedules.
+package reorder
+
+import (
+	"fmt"
+	"sort"
+
+	"nonstrict/internal/cfg"
+	"nonstrict/internal/classfile"
+)
+
+// Order is a predicted first-use permutation of all methods.
+type Order struct {
+	// Methods lists every MethodID, earliest-predicted first.
+	Methods []classfile.MethodID
+	// Rank is the inverse permutation: Rank[id] is the position of id.
+	Rank []int
+}
+
+func newOrder(methods []classfile.MethodID, n int) *Order {
+	o := &Order{Methods: methods, Rank: make([]int, n)}
+	for i := range o.Rank {
+		o.Rank[i] = -1
+	}
+	for pos, id := range methods {
+		o.Rank[id] = pos
+	}
+	return o
+}
+
+// Validate checks that the order is a complete permutation.
+func (o *Order) Validate(ix *classfile.Index) error {
+	if len(o.Methods) != ix.Len() {
+		return fmt.Errorf("reorder: order has %d methods, program has %d", len(o.Methods), ix.Len())
+	}
+	seen := make([]bool, ix.Len())
+	for _, id := range o.Methods {
+		if int(id) < 0 || int(id) >= ix.Len() {
+			return fmt.Errorf("reorder: method id %d out of range", id)
+		}
+		if seen[id] {
+			return fmt.Errorf("reorder: duplicate method %v", ix.Ref(id))
+		}
+		seen[id] = true
+	}
+	return nil
+}
+
+// Declaration returns the identity order: methods as declared in their
+// class files, classes in program order. This is the unrestructured
+// baseline.
+func Declaration(ix *classfile.Index) *Order {
+	ms := make([]classfile.MethodID, ix.Len())
+	for i := range ms {
+		ms[i] = classfile.MethodID(i)
+	}
+	return newOrder(ms, ix.Len())
+}
+
+// Static computes the first-use order with the paper's static call-graph
+// estimation (§4.1). Methods unreachable from main are appended in
+// declaration order.
+func Static(ix *classfile.Index, graphs map[classfile.MethodID]*cfg.Graph) (*Order, error) {
+	main := ix.ID(ix.Program().Main())
+	if main == classfile.NoMethod {
+		return nil, fmt.Errorf("reorder: program has no main")
+	}
+	t := &traversal{ix: ix, graphs: graphs, seen: make([]bool, ix.Len())}
+	t.visitMethod(main)
+	for id := classfile.MethodID(0); int(id) < ix.Len(); id++ {
+		if !t.seen[id] {
+			t.order = append(t.order, id)
+		}
+	}
+	return newOrder(t.order, ix.Len()), nil
+}
+
+type traversal struct {
+	ix     *classfile.Index
+	graphs map[classfile.MethodID]*cfg.Graph
+	seen   []bool
+	order  []classfile.MethodID
+}
+
+// visitMethod appends m to the first-use order on first encounter and
+// traverses its CFG, recursing into callees as they are encountered —
+// the interprocedural edges of the paper's combined flow graph.
+func (t *traversal) visitMethod(m classfile.MethodID) {
+	if t.seen[m] {
+		return
+	}
+	t.seen[m] = true
+	t.order = append(t.order, m)
+	g := t.graphs[m]
+	if g == nil {
+		return
+	}
+	t.traverseCFG(g)
+}
+
+// pend is a deferred loop-exit continuation: the (basic block, loop
+// header) pair the paper pushes while the loop body is being walked.
+type pend struct {
+	block  int
+	header int
+}
+
+// traverseCFG performs the modified DFS of §4.1 on one method body.
+func (t *traversal) traverseCFG(g *cfg.Graph) {
+	visited := make([]bool, len(g.Blocks))
+	var exits []pend
+
+	var walk func(b int)
+	walk = func(b int) {
+		if visited[b] {
+			return
+		}
+		visited[b] = true
+		blk := g.Blocks[b]
+
+		// Procedure calls are encountered in instruction order; each
+		// first encounter fixes the callee's first-use position.
+		for _, cs := range blk.Calls {
+			if id := t.ix.ID(cs.Target); id != classfile.NoMethod {
+				t.visitMethod(id)
+			}
+		}
+
+		// Classify successor edges. Back edges are never followed; edges
+		// leaving the innermost enclosing loop are deferred on the pair
+		// stack so every block inside the loop is processed first.
+		inner := g.InnermostLoopOf(b)
+		var normal []int
+		for _, e := range blk.Succs {
+			if e.Back {
+				continue
+			}
+			if inner >= 0 && !g.InLoop(e.To, inner) {
+				exits = append(exits, pend{block: e.To, header: inner})
+				continue
+			}
+			normal = append(normal, e.To)
+		}
+
+		// Forward-branch priority: follow the path with the greatest
+		// number of static loops first; break ties toward the longer
+		// path, then toward the fall-through (lower block ID).
+		sort.SliceStable(normal, func(i, j int) bool {
+			li, lj := g.LoopsReachable(normal[i]), g.LoopsReachable(normal[j])
+			if li != lj {
+				return li > lj
+			}
+			si, sj := g.StaticInstrs(normal[i]), g.StaticInstrs(normal[j])
+			if si != sj {
+				return si > sj
+			}
+			return normal[i] < normal[j]
+		})
+		for _, s := range normal {
+			walk(s)
+		}
+	}
+
+	walk(0)
+	// Loop bodies are exhausted; resume at deferred loop exits, most
+	// recently deferred first (the paper pops the pair stack).
+	for len(exits) > 0 {
+		p := exits[len(exits)-1]
+		exits = exits[:len(exits)-1]
+		walk(p.block)
+	}
+}
+
+// StaticPlain is the ablation baseline for Static: a plain depth-first
+// traversal that visits successors in textual order, with no loop
+// prioritization and no deferral of loop exits. Comparing its quality
+// against Static isolates the value of the paper's §4.1 heuristics.
+func StaticPlain(ix *classfile.Index, graphs map[classfile.MethodID]*cfg.Graph) (*Order, error) {
+	main := ix.ID(ix.Program().Main())
+	if main == classfile.NoMethod {
+		return nil, fmt.Errorf("reorder: program has no main")
+	}
+	seen := make([]bool, ix.Len())
+	var order []classfile.MethodID
+	var visit func(m classfile.MethodID)
+	visit = func(m classfile.MethodID) {
+		if seen[m] {
+			return
+		}
+		seen[m] = true
+		order = append(order, m)
+		g := graphs[m]
+		if g == nil {
+			return
+		}
+		visited := make([]bool, len(g.Blocks))
+		var walk func(b int)
+		walk = func(b int) {
+			if visited[b] {
+				return
+			}
+			visited[b] = true
+			for _, cs := range g.Blocks[b].Calls {
+				if id := ix.ID(cs.Target); id != classfile.NoMethod {
+					visit(id)
+				}
+			}
+			for _, e := range g.Blocks[b].Succs {
+				if !e.Back {
+					walk(e.To)
+				}
+			}
+		}
+		walk(0)
+	}
+	visit(main)
+	for id := classfile.MethodID(0); int(id) < ix.Len(); id++ {
+		if !seen[id] {
+			order = append(order, id)
+		}
+	}
+	return newOrder(order, ix.Len()), nil
+}
+
+// FromProfile builds the order observed at run time (§4.2): methods in
+// first-invocation order, with methods the profile never saw placed
+// afterward in the fallback (static) order.
+func FromProfile(ix *classfile.Index, firstUse []classfile.MethodID, fallback *Order) *Order {
+	seen := make([]bool, ix.Len())
+	ms := make([]classfile.MethodID, 0, ix.Len())
+	for _, id := range firstUse {
+		if int(id) >= 0 && int(id) < ix.Len() && !seen[id] {
+			seen[id] = true
+			ms = append(ms, id)
+		}
+	}
+	for _, id := range fallback.Methods {
+		if !seen[id] {
+			seen[id] = true
+			ms = append(ms, id)
+		}
+	}
+	return newOrder(ms, ix.Len())
+}
+
+// ClassOrder derives the first-use order of classes: each class ranked by
+// the earliest position of any of its methods. The transfer schedules
+// process class files in this order.
+func (o *Order) ClassOrder(ix *classfile.Index) []string {
+	prog := ix.Program()
+	best := make(map[string]int, len(prog.Classes))
+	for pos, id := range o.Methods {
+		name := ix.Class(id).Name
+		if _, ok := best[name]; !ok {
+			best[name] = pos
+		}
+	}
+	names := make([]string, 0, len(prog.Classes))
+	for _, c := range prog.Classes {
+		names = append(names, c.Name)
+	}
+	sort.SliceStable(names, func(i, j int) bool { return best[names[i]] < best[names[j]] })
+	return names
+}

@@ -1,0 +1,110 @@
+package restructure
+
+import (
+	"testing"
+
+	"nonstrict/internal/cfg"
+	"nonstrict/internal/classfile"
+	"nonstrict/internal/jir"
+	"nonstrict/internal/reorder"
+)
+
+func fixture(t *testing.T) (*classfile.Program, *classfile.Index, *reorder.Order) {
+	t.Helper()
+	p := &jir.Program{Name: "fx", Main: "M", Classes: []*jir.Class{
+		{Name: "M", Funcs: []*jir.Func{
+			// Declared in reverse of use order.
+			{Name: "third", Body: jir.Block(jir.RetV()), LocalData: 10},
+			{Name: "second", Body: jir.Block(jir.Do(jir.Call("M", "third")), jir.RetV()), LocalData: 20},
+			{Name: "main", Body: jir.Block(jir.Do(jir.Call("M", "second")), jir.Halt()), LocalData: 30},
+		}},
+		{Name: "N", Funcs: []*jir.Func{
+			{Name: "unused", Body: jir.Block(jir.RetV())},
+		}},
+	}}
+	cp, err := jir.Compile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix := cp.IndexMethods()
+	gs, err := cfg.BuildAll(ix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o, err := reorder.Static(ix, gs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cp, ix, o
+}
+
+func TestApplySortsMethods(t *testing.T) {
+	cp, ix, o := fixture(t)
+	rp := Apply(cp, ix, o)
+	c := rp.Class("M")
+	got := []string{c.MethodName(c.Methods[0]), c.MethodName(c.Methods[1]), c.MethodName(c.Methods[2])}
+	want := []string{"main", "second", "third"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("position %d: %q, want %q (full: %v)", i, got[i], want[i], got)
+		}
+	}
+	// Original untouched.
+	oc := cp.Class("M")
+	if oc.MethodName(oc.Methods[0]) != "third" {
+		t.Error("Apply mutated the original program")
+	}
+	// Same total size.
+	if rp.TotalSize() != cp.TotalSize() {
+		t.Errorf("restructured size %d, original %d", rp.TotalSize(), cp.TotalSize())
+	}
+}
+
+func TestComputeLayouts(t *testing.T) {
+	cp, ix, o := fixture(t)
+	rp := Apply(cp, ix, o)
+	l := ComputeLayouts(rp)
+
+	for _, c := range rp.Classes {
+		if l.FileSize[c.Name] != c.WireSize() {
+			t.Errorf("class %s FileSize %d, wire %d", c.Name, l.FileSize[c.Name], c.WireSize())
+		}
+		if l.GlobalEnd[c.Name] != c.GlobalSize() {
+			t.Errorf("class %s GlobalEnd mismatch", c.Name)
+		}
+		prev := l.GlobalEnd[c.Name]
+		for _, r := range l.FileOrder[c.Name] {
+			a := l.Avail[r]
+			if a <= prev {
+				t.Errorf("%v avail %d not past previous end %d", r, a, prev)
+			}
+			if a-prev != l.BodySize[r] {
+				t.Errorf("%v body %d bytes, avail delta %d", r, l.BodySize[r], a-prev)
+			}
+			prev = a
+		}
+		if prev != l.FileSize[c.Name] {
+			t.Errorf("class %s last avail %d != file size %d", c.Name, prev, l.FileSize[c.Name])
+		}
+	}
+
+	// main is first in M's file: its avail is global end + its own body.
+	mainRef := classfile.Ref{Class: "M", Name: "main"}
+	if l.Avail[mainRef] != l.GlobalEnd["M"]+l.BodySize[mainRef] {
+		t.Errorf("main avail %d, want %d", l.Avail[mainRef], l.GlobalEnd["M"]+l.BodySize[mainRef])
+	}
+}
+
+func TestBodySizeIncludesLocalDataAndDelimiter(t *testing.T) {
+	cp, ix, o := fixture(t)
+	rp := Apply(cp, ix, o)
+	l := ComputeLayouts(rp)
+	c := rp.Class("M")
+	for _, m := range c.Methods {
+		r := classfile.Ref{Class: "M", Name: c.MethodName(m)}
+		want := len(m.LocalData) + len(m.Code) + classfile.DelimSize
+		if l.BodySize[r] != want {
+			t.Errorf("%v body size %d, want %d", r, l.BodySize[r], want)
+		}
+	}
+}

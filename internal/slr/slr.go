@@ -1,0 +1,421 @@
+// Package slr is an SLR(1) parser-table generator.
+//
+// It exists because the paper's JavaCup benchmark is an LALR parser
+// generator: to reproduce that workload honestly, the substrate needs a
+// real table-construction algorithm. Package apps builds an expression
+// grammar here, then emits the resulting automaton as a table-driven
+// parser program (one class per state, as generated parsers are shaped),
+// which the VM executes over tokenized input.
+//
+// The construction is the textbook one: augment the grammar, build the
+// canonical LR(0) item-set collection, compute FIRST and FOLLOW, and fill
+// ACTION/GOTO, rejecting grammars with SLR conflicts.
+package slr
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Prod is one production LHS -> RHS (RHS may be empty for epsilon).
+type Prod struct {
+	LHS string
+	RHS []string
+}
+
+func (p Prod) String() string {
+	if len(p.RHS) == 0 {
+		return p.LHS + " -> ε"
+	}
+	return p.LHS + " -> " + strings.Join(p.RHS, " ")
+}
+
+// Grammar is the input specification. Terminals and Nonterminals must be
+// disjoint; Start must be a nonterminal. The end-of-input marker is
+// implicit and must not appear in the symbol lists.
+type Grammar struct {
+	Terminals    []string
+	Nonterminals []string
+	Start        string
+	Prods        []Prod
+}
+
+// End is the implicit end-of-input terminal.
+const End = "$end"
+
+// ActKind classifies an ACTION table entry.
+type ActKind int8
+
+const (
+	Err ActKind = iota
+	Shift
+	Reduce
+	Accept
+)
+
+// Act is one ACTION entry; N is the target state (Shift) or production
+// index (Reduce).
+type Act struct {
+	Kind ActKind
+	N    int
+}
+
+// Tables is the generated SLR automaton. Terminal index len(Terminals)
+// is the End marker. Production 0 is the augmented start production.
+type Tables struct {
+	Grammar   Grammar
+	Prods     []Prod // augmented: Prods[0] = start' -> Start
+	NumStates int
+	// Action is [state][terminal] with the End column last.
+	Action [][]Act
+	// Goto is [state][nonterminal], -1 when undefined.
+	Goto [][]int
+	// TermIndex and NonTermIndex map symbols to column indices.
+	TermIndex    map[string]int
+	NonTermIndex map[string]int
+}
+
+// item is an LR(0) item: production index and dot position.
+type item struct {
+	prod, dot int
+}
+
+type itemSet []item
+
+func (s itemSet) key() string {
+	var b strings.Builder
+	for _, it := range s {
+		fmt.Fprintf(&b, "%d.%d;", it.prod, it.dot)
+	}
+	return b.String()
+}
+
+func sortItems(s itemSet) {
+	sort.Slice(s, func(i, j int) bool {
+		if s[i].prod != s[j].prod {
+			return s[i].prod < s[j].prod
+		}
+		return s[i].dot < s[j].dot
+	})
+}
+
+// Build constructs the SLR(1) tables, or reports the first conflict.
+func Build(g Grammar) (*Tables, error) {
+	isTerm := make(map[string]bool)
+	for _, t := range g.Terminals {
+		if t == End {
+			return nil, fmt.Errorf("slr: %q is reserved", End)
+		}
+		isTerm[t] = true
+	}
+	isNT := make(map[string]bool)
+	for _, n := range g.Nonterminals {
+		if isTerm[n] {
+			return nil, fmt.Errorf("slr: symbol %q is both terminal and nonterminal", n)
+		}
+		isNT[n] = true
+	}
+	if !isNT[g.Start] {
+		return nil, fmt.Errorf("slr: start symbol %q is not a nonterminal", g.Start)
+	}
+	for _, p := range g.Prods {
+		if !isNT[p.LHS] {
+			return nil, fmt.Errorf("slr: production LHS %q is not a nonterminal", p.LHS)
+		}
+		for _, s := range p.RHS {
+			if !isTerm[s] && !isNT[s] {
+				return nil, fmt.Errorf("slr: unknown symbol %q in %v", s, p)
+			}
+		}
+	}
+
+	const startSym = "$start"
+	prods := append([]Prod{{LHS: startSym, RHS: []string{g.Start}}}, g.Prods...)
+
+	prodsOf := make(map[string][]int)
+	for i, p := range prods {
+		prodsOf[p.LHS] = append(prodsOf[p.LHS], i)
+	}
+
+	// closure of an item set.
+	closure := func(s itemSet) itemSet {
+		set := make(map[item]bool, len(s))
+		work := append(itemSet(nil), s...)
+		for _, it := range work {
+			set[it] = true
+		}
+		for len(work) > 0 {
+			it := work[len(work)-1]
+			work = work[:len(work)-1]
+			p := prods[it.prod]
+			if it.dot >= len(p.RHS) {
+				continue
+			}
+			sym := p.RHS[it.dot]
+			if !isNT[sym] {
+				continue
+			}
+			for _, pi := range prodsOf[sym] {
+				ni := item{prod: pi, dot: 0}
+				if !set[ni] {
+					set[ni] = true
+					work = append(work, ni)
+				}
+			}
+		}
+		out := make(itemSet, 0, len(set))
+		for it := range set {
+			out = append(out, it)
+		}
+		sortItems(out)
+		return out
+	}
+
+	// goto of an item set on a symbol.
+	gotoSet := func(s itemSet, sym string) itemSet {
+		var moved itemSet
+		for _, it := range s {
+			p := prods[it.prod]
+			if it.dot < len(p.RHS) && p.RHS[it.dot] == sym {
+				moved = append(moved, item{prod: it.prod, dot: it.dot + 1})
+			}
+		}
+		if moved == nil {
+			return nil
+		}
+		return closure(moved)
+	}
+
+	// Canonical collection.
+	start := closure(itemSet{{prod: 0, dot: 0}})
+	states := []itemSet{start}
+	index := map[string]int{start.key(): 0}
+	type edge struct {
+		from int
+		sym  string
+		to   int
+	}
+	var edges []edge
+	symbols := append(append([]string{}, g.Terminals...), g.Nonterminals...)
+	for i := 0; i < len(states); i++ {
+		for _, sym := range symbols {
+			t := gotoSet(states[i], sym)
+			if t == nil {
+				continue
+			}
+			k := t.key()
+			j, ok := index[k]
+			if !ok {
+				j = len(states)
+				index[k] = j
+				states = append(states, t)
+			}
+			edges = append(edges, edge{from: i, sym: sym, to: j})
+		}
+	}
+
+	// FIRST sets over nonterminals (terminals are their own FIRST).
+	first := make(map[string]map[string]bool)
+	for n := range isNT {
+		first[n] = map[string]bool{}
+	}
+	nullable := make(map[string]bool)
+	for changed := true; changed; {
+		changed = false
+		for _, p := range prods[1:] {
+			f := first[p.LHS]
+			allNullable := true
+			for _, s := range p.RHS {
+				if isTerm[s] {
+					if !f[s] {
+						f[s] = true
+						changed = true
+					}
+					allNullable = false
+					break
+				}
+				for t := range first[s] {
+					if !f[t] {
+						f[t] = true
+						changed = true
+					}
+				}
+				if !nullable[s] {
+					allNullable = false
+					break
+				}
+			}
+			if allNullable && !nullable[p.LHS] {
+				nullable[p.LHS] = true
+				changed = true
+			}
+		}
+	}
+
+	// FOLLOW sets.
+	follow := make(map[string]map[string]bool)
+	for n := range isNT {
+		follow[n] = map[string]bool{}
+	}
+	follow[g.Start][End] = true
+	for changed := true; changed; {
+		changed = false
+		for _, p := range prods {
+			for i, s := range p.RHS {
+				if !isNT[s] {
+					continue
+				}
+				f := follow[s]
+				tailNullable := true
+				for _, u := range p.RHS[i+1:] {
+					if isTerm[u] {
+						if !f[u] {
+							f[u] = true
+							changed = true
+						}
+						tailNullable = false
+						break
+					}
+					for t := range first[u] {
+						if !f[t] {
+							f[t] = true
+							changed = true
+						}
+					}
+					if !nullable[u] {
+						tailNullable = false
+						break
+					}
+				}
+				if tailNullable && p.LHS != startSym {
+					for t := range follow[p.LHS] {
+						if !f[t] {
+							f[t] = true
+							changed = true
+						}
+					}
+				}
+			}
+		}
+	}
+
+	// Fill tables.
+	tb := &Tables{
+		Grammar:      g,
+		Prods:        prods,
+		NumStates:    len(states),
+		TermIndex:    make(map[string]int),
+		NonTermIndex: make(map[string]int),
+	}
+	for i, t := range g.Terminals {
+		tb.TermIndex[t] = i
+	}
+	tb.TermIndex[End] = len(g.Terminals)
+	for i, n := range g.Nonterminals {
+		tb.NonTermIndex[n] = i
+	}
+	nTerm := len(g.Terminals) + 1
+	tb.Action = make([][]Act, len(states))
+	tb.Goto = make([][]int, len(states))
+	for i := range states {
+		tb.Action[i] = make([]Act, nTerm)
+		tb.Goto[i] = make([]int, len(g.Nonterminals))
+		for j := range tb.Goto[i] {
+			tb.Goto[i][j] = -1
+		}
+	}
+	setAction := func(state, term int, a Act) error {
+		cur := tb.Action[state][term]
+		if cur.Kind != Err && cur != a {
+			return fmt.Errorf("slr: conflict in state %d on terminal %d: %v vs %v",
+				state, term, cur, a)
+		}
+		tb.Action[state][term] = a
+		return nil
+	}
+	for _, e := range edges {
+		if isTerm[e.sym] {
+			if err := setAction(e.from, tb.TermIndex[e.sym], Act{Kind: Shift, N: e.to}); err != nil {
+				return nil, err
+			}
+		} else {
+			tb.Goto[e.from][tb.NonTermIndex[e.sym]] = e.to
+		}
+	}
+	for si, s := range states {
+		for _, it := range s {
+			p := prods[it.prod]
+			if it.dot != len(p.RHS) {
+				continue
+			}
+			if it.prod == 0 {
+				if err := setAction(si, tb.TermIndex[End], Act{Kind: Accept}); err != nil {
+					return nil, err
+				}
+				continue
+			}
+			for t := range follow[p.LHS] {
+				if err := setAction(si, tb.TermIndex[t], Act{Kind: Reduce, N: it.prod}); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	return tb, nil
+}
+
+// Parse runs the automaton over a token stream. Tokens are terminal
+// column indices (use TermIndex); the End token is implicit. reduce is
+// called with the production index and the semantic values of the RHS,
+// and returns the LHS value; shiftVal supplies the value of each shifted
+// token. Returns the final semantic value.
+func (tb *Tables) Parse(tokens []int, vals []int64, reduce func(prod int, rhs []int64) int64) (int64, error) {
+	if len(tokens) != len(vals) {
+		return 0, fmt.Errorf("slr: %d tokens but %d values", len(tokens), len(vals))
+	}
+	stateStack := []int{0}
+	var valStack []int64
+	pos := 0
+	next := func() int {
+		if pos >= len(tokens) {
+			return tb.TermIndex[End]
+		}
+		return tokens[pos]
+	}
+	for steps := 0; ; steps++ {
+		if steps > 1_000_000 {
+			return 0, fmt.Errorf("slr: parser did not terminate")
+		}
+		st := stateStack[len(stateStack)-1]
+		t := next()
+		if t < 0 || t >= len(tb.Action[st]) {
+			return 0, fmt.Errorf("slr: bad terminal %d", t)
+		}
+		switch a := tb.Action[st][t]; a.Kind {
+		case Shift:
+			stateStack = append(stateStack, a.N)
+			valStack = append(valStack, vals[pos])
+			pos++
+		case Reduce:
+			p := tb.Prods[a.N]
+			n := len(p.RHS)
+			v := reduce(a.N, valStack[len(valStack)-n:])
+			stateStack = stateStack[:len(stateStack)-n]
+			valStack = valStack[:len(valStack)-n]
+			g := tb.Goto[stateStack[len(stateStack)-1]][tb.NonTermIndex[p.LHS]]
+			if g < 0 {
+				return 0, fmt.Errorf("slr: missing goto for %s in state %d", p.LHS, stateStack[len(stateStack)-1])
+			}
+			stateStack = append(stateStack, g)
+			valStack = append(valStack, v)
+		case Accept:
+			if len(valStack) != 1 {
+				return 0, fmt.Errorf("slr: accept with %d values on stack", len(valStack))
+			}
+			return valStack[0], nil
+		default:
+			return 0, fmt.Errorf("slr: syntax error at token %d (state %d, terminal %d)", pos, st, t)
+		}
+	}
+}

@@ -1,0 +1,231 @@
+package slr
+
+import (
+	"strings"
+	"testing"
+)
+
+// exprGrammar is the classic SLR expression grammar.
+func exprGrammar() Grammar {
+	return Grammar{
+		Terminals:    []string{"num", "+", "*", "(", ")"},
+		Nonterminals: []string{"E", "T", "F"},
+		Start:        "E",
+		Prods: []Prod{
+			{LHS: "E", RHS: []string{"E", "+", "T"}},
+			{LHS: "E", RHS: []string{"T"}},
+			{LHS: "T", RHS: []string{"T", "*", "F"}},
+			{LHS: "T", RHS: []string{"F"}},
+			{LHS: "F", RHS: []string{"(", "E", ")"}},
+			{LHS: "F", RHS: []string{"num"}},
+		},
+	}
+}
+
+// lex tokenizes a tiny expression string for the test grammar; digits
+// are single-character numbers.
+func lex(t *testing.T, tb *Tables, s string) (tokens []int, vals []int64) {
+	t.Helper()
+	for _, r := range s {
+		switch {
+		case r >= '0' && r <= '9':
+			tokens = append(tokens, tb.TermIndex["num"])
+			vals = append(vals, int64(r-'0'))
+		case r == ' ':
+		default:
+			idx, ok := tb.TermIndex[string(r)]
+			if !ok {
+				t.Fatalf("bad char %q", r)
+			}
+			tokens = append(tokens, idx)
+			vals = append(vals, 0)
+		}
+	}
+	return
+}
+
+// evalReduce implements the grammar's semantics.
+func evalReduce(prod int, rhs []int64) int64 {
+	switch prod {
+	case 1: // E -> E + T
+		return rhs[0] + rhs[2]
+	case 2: // E -> T
+		return rhs[0]
+	case 3: // T -> T * F
+		return rhs[0] * rhs[2]
+	case 4: // T -> F
+		return rhs[0]
+	case 5: // F -> ( E )
+		return rhs[1]
+	case 6: // F -> num
+		return rhs[0]
+	}
+	panic("bad production")
+}
+
+func TestBuildExprGrammar(t *testing.T) {
+	tb, err := Build(exprGrammar())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The canonical construction for this grammar yields 12 states.
+	if tb.NumStates != 12 {
+		t.Errorf("states = %d, want 12", tb.NumStates)
+	}
+	if len(tb.Prods) != 7 {
+		t.Errorf("augmented productions = %d, want 7", len(tb.Prods))
+	}
+}
+
+func TestParseEvaluates(t *testing.T) {
+	tb, err := Build(exprGrammar())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		in   string
+		want int64
+	}{
+		{"2", 2},
+		{"2+3", 5},
+		{"2+3*4", 14},
+		{"(2+3)*4", 20},
+		{"((1))", 1},
+		{"1+2+3+4", 10},
+		{"2*2*2*2", 16},
+		{"(1+2)*(3+4)", 21},
+	}
+	for _, tc := range cases {
+		toks, vals := lex(t, tb, tc.in)
+		got, err := tb.Parse(toks, vals, evalReduce)
+		if err != nil {
+			t.Errorf("%q: %v", tc.in, err)
+			continue
+		}
+		if got != tc.want {
+			t.Errorf("%q = %d, want %d", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestParseSyntaxErrors(t *testing.T) {
+	tb, err := Build(exprGrammar())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, in := range []string{"", "+", "2+", "(2", "2)", "2 3", "*2"} {
+		toks, vals := lex(t, tb, in)
+		if _, err := tb.Parse(toks, vals, evalReduce); err == nil {
+			t.Errorf("%q parsed without error", in)
+		}
+	}
+}
+
+func TestBuildRejectsAmbiguous(t *testing.T) {
+	// E -> E + E | num is ambiguous: shift/reduce conflict on +.
+	g := Grammar{
+		Terminals:    []string{"num", "+"},
+		Nonterminals: []string{"E"},
+		Start:        "E",
+		Prods: []Prod{
+			{LHS: "E", RHS: []string{"E", "+", "E"}},
+			{LHS: "E", RHS: []string{"num"}},
+		},
+	}
+	if _, err := Build(g); err == nil || !strings.Contains(err.Error(), "conflict") {
+		t.Fatalf("err = %v, want conflict", err)
+	}
+}
+
+func TestBuildValidation(t *testing.T) {
+	base := exprGrammar()
+
+	g := base
+	g.Start = "Z"
+	if _, err := Build(g); err == nil {
+		t.Error("bad start accepted")
+	}
+
+	g = base
+	g.Prods = append(g.Prods, Prod{LHS: "E", RHS: []string{"ghost"}})
+	if _, err := Build(g); err == nil {
+		t.Error("unknown symbol accepted")
+	}
+
+	g = base
+	g.Prods = append(g.Prods, Prod{LHS: "num", RHS: []string{"num"}})
+	if _, err := Build(g); err == nil {
+		t.Error("terminal LHS accepted")
+	}
+
+	g = base
+	g.Terminals = append(g.Terminals, End)
+	if _, err := Build(g); err == nil {
+		t.Error("reserved End terminal accepted")
+	}
+
+	g = base
+	g.Nonterminals = append(g.Nonterminals, "num")
+	if _, err := Build(g); err == nil {
+		t.Error("terminal/nonterminal overlap accepted")
+	}
+}
+
+func TestEpsilonProductions(t *testing.T) {
+	// S -> a B; B -> b B | ε  — exercises nullable/FIRST/FOLLOW paths.
+	g := Grammar{
+		Terminals:    []string{"a", "b"},
+		Nonterminals: []string{"S", "B"},
+		Start:        "S",
+		Prods: []Prod{
+			{LHS: "S", RHS: []string{"a", "B"}},
+			{LHS: "B", RHS: []string{"b", "B"}},
+			{LHS: "B", RHS: nil},
+		},
+	}
+	tb, err := Build(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := func(prod int, rhs []int64) int64 {
+		switch prod {
+		case 1:
+			return rhs[1]
+		case 2:
+			return 1 + rhs[1]
+		default:
+			return 0
+		}
+	}
+	for _, tc := range []struct {
+		in   string
+		want int64
+	}{
+		{"a", 0}, {"ab", 1}, {"abbb", 3},
+	} {
+		var toks []int
+		var vals []int64
+		for _, r := range tc.in {
+			toks = append(toks, tb.TermIndex[string(r)])
+			vals = append(vals, 0)
+		}
+		got, err := tb.Parse(toks, vals, count)
+		if err != nil {
+			t.Fatalf("%q: %v", tc.in, err)
+		}
+		if got != tc.want {
+			t.Errorf("%q = %d, want %d", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestProdString(t *testing.T) {
+	p := Prod{LHS: "E", RHS: []string{"E", "+", "T"}}
+	if p.String() != "E -> E + T" {
+		t.Errorf("String = %q", p.String())
+	}
+	eps := Prod{LHS: "B"}
+	if !strings.Contains(eps.String(), "ε") {
+		t.Errorf("epsilon String = %q", eps.String())
+	}
+}

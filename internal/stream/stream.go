@@ -1,0 +1,332 @@
+// Package stream is the non-strict class loader: it consumes an
+// interleaved virtual-file byte stream (paper §5.2) and makes classes and
+// methods available incrementally, running the §3.1.1 verification steps
+// as the bytes arrive — class-level checks when a global-data unit lands,
+// per-method bytecode checks when a body unit lands.
+//
+// The wire format frames each unit with a 7-byte header: class index
+// (u16), unit kind (u8), payload length (u32). A class's global-data unit
+// always precedes its body units; body units arrive in the class's file
+// order (which, after restructuring, is predicted first-use order).
+// Writer produces the stream from a restructured program; Loader consumes
+// it from any io.Reader and reports an event per unit.
+package stream
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"nonstrict/internal/classfile"
+	"nonstrict/internal/reorder"
+	"nonstrict/internal/verify"
+)
+
+// Unit kinds.
+const (
+	KindGlobal = 0 // a class's global-data section
+	KindBody   = 1 // one method body: local data + code + delimiter
+)
+
+const headerSize = 7
+
+// EventKind classifies loader progress events.
+type EventKind int
+
+const (
+	// ClassLinked: a class's global data arrived, parsed, and passed
+	// class-level verification; its methods are known but not yet
+	// runnable.
+	ClassLinked EventKind = iota
+	// MethodReady: a method's body arrived and passed method-level
+	// verification; the method may now execute.
+	MethodReady
+	// ClassComplete: every body of the class has arrived.
+	ClassComplete
+)
+
+// Event is one loader progress notification.
+type Event struct {
+	Kind   EventKind
+	Class  string
+	Method classfile.Ref // set for MethodReady
+	// Bytes is the cumulative stream bytes consumed when the event
+	// fired (headers included).
+	Bytes int64
+}
+
+// Writer emits the interleaved stream for a restructured program.
+type Writer struct {
+	units []unit
+}
+
+type unit struct {
+	class int
+	kind  byte
+	data  []byte
+}
+
+// NewWriter plans the stream: each class's global data immediately before
+// its first method in the order, then bodies in order. The program must
+// already be restructured so that each class's file order equals the
+// order's restriction to it.
+func NewWriter(p *classfile.Program, ix *classfile.Index, o *reorder.Order) (*Writer, error) {
+	classIdx := make(map[string]int, len(p.Classes))
+	serialized := make([][]byte, len(p.Classes))
+	layouts := make([]classfile.Layout, len(p.Classes))
+	nextBody := make([]int, len(p.Classes))
+	for i, c := range p.Classes {
+		classIdx[c.Name] = i
+		serialized[i] = c.Serialize()
+		layouts[i] = c.ComputeLayout()
+	}
+	w := &Writer{}
+	sent := make([]bool, len(p.Classes))
+	for _, id := range o.Methods {
+		r := ix.Ref(id)
+		ci, ok := classIdx[r.Class]
+		if !ok {
+			return nil, fmt.Errorf("stream: order names unknown class %q", r.Class)
+		}
+		if !sent[ci] {
+			sent[ci] = true
+			w.units = append(w.units, unit{class: ci, kind: KindGlobal,
+				data: serialized[ci][:layouts[ci].GlobalEnd]})
+		}
+		bi := nextBody[ci]
+		if bi >= len(layouts[ci].Methods) {
+			return nil, fmt.Errorf("stream: class %q has more ordered methods than bodies", r.Class)
+		}
+		// The order restricted to this class must match file order;
+		// restructure.Apply guarantees it.
+		c := p.Classes[ci]
+		if got := c.MethodName(c.Methods[bi]); got != r.Name {
+			return nil, fmt.Errorf("stream: class %q file order has %q where order expects %q (program not restructured?)",
+				r.Class, got, r.Name)
+		}
+		ml := layouts[ci].Methods[bi]
+		w.units = append(w.units, unit{class: ci, kind: KindBody,
+			data: serialized[ci][ml.BodyStart:ml.DelimEnd]})
+		nextBody[ci]++
+	}
+	return w, nil
+}
+
+// WriteTo implements io.WriterTo: the whole stream, unthrottled.
+func (w *Writer) WriteTo(out io.Writer) (int64, error) {
+	var n int64
+	hdr := make([]byte, headerSize)
+	for _, u := range w.units {
+		binary.BigEndian.PutUint16(hdr[0:], uint16(u.class))
+		hdr[2] = u.kind
+		binary.BigEndian.PutUint32(hdr[3:], uint32(len(u.data)))
+		k, err := out.Write(hdr)
+		n += int64(k)
+		if err != nil {
+			return n, err
+		}
+		k, err = out.Write(u.data)
+		n += int64(k)
+		if err != nil {
+			return n, err
+		}
+	}
+	return n, nil
+}
+
+// Units returns the number of planned units.
+func (w *Writer) Units() int { return len(w.units) }
+
+// Size returns the total stream size in bytes, headers included.
+func (w *Writer) Size() int64 {
+	var n int64
+	for _, u := range w.units {
+		n += headerSize + int64(len(u.data))
+	}
+	return n
+}
+
+// ErrBadStream wraps framing and consistency failures.
+var ErrBadStream = errors.New("stream: malformed stream")
+
+// Loader consumes a unit stream and assembles a runnable program,
+// verifying incrementally. The zero value is not usable; call NewLoader.
+type Loader struct {
+	mainClass string
+	name      string
+	resolver  verify.Resolver
+
+	classes  map[int]*classfile.Class
+	layouts  map[int]classfile.Layout
+	nextBody map[int]int
+	consumed int64
+}
+
+// NewLoader builds a loader for a program named name whose entry class
+// is mainClass. resolver answers cross-class verification queries and
+// may be nil to defer them (the paper's incremental dependence
+// analysis); use Resolver() to verify against the classes loaded so far.
+func NewLoader(name, mainClass string, resolver verify.Resolver) *Loader {
+	return &Loader{
+		name:      name,
+		mainClass: mainClass,
+		resolver:  resolver,
+		classes:   make(map[int]*classfile.Class),
+		layouts:   make(map[int]classfile.Layout),
+		nextBody:  make(map[int]int),
+	}
+}
+
+// Load consumes the whole stream from r, invoking onEvent (if non-nil)
+// after each verified unit.
+func (l *Loader) Load(r io.Reader, onEvent func(Event)) error {
+	hdr := make([]byte, headerSize)
+	for {
+		if _, err := io.ReadFull(r, hdr); err == io.EOF {
+			return nil
+		} else if err != nil {
+			return fmt.Errorf("%w: reading unit header: %v", ErrBadStream, err)
+		}
+		ci := int(binary.BigEndian.Uint16(hdr[0:]))
+		kind := hdr[2]
+		n := int(binary.BigEndian.Uint32(hdr[3:]))
+		if n > 1<<28 {
+			return fmt.Errorf("%w: unit of %d bytes", ErrBadStream, n)
+		}
+		payload := make([]byte, n)
+		if _, err := io.ReadFull(r, payload); err != nil {
+			return fmt.Errorf("%w: reading %d-byte unit: %v", ErrBadStream, n, err)
+		}
+		l.consumed += headerSize + int64(n)
+		ev, err := l.feed(ci, kind, payload)
+		if err != nil {
+			return err
+		}
+		if onEvent != nil {
+			for _, e := range ev {
+				onEvent(e)
+			}
+		}
+	}
+}
+
+// feed processes one unit and returns the events it produced.
+func (l *Loader) feed(ci int, kind byte, payload []byte) ([]Event, error) {
+	switch kind {
+	case KindGlobal:
+		if _, dup := l.classes[ci]; dup {
+			return nil, fmt.Errorf("%w: duplicate global unit for class %d", ErrBadStream, ci)
+		}
+		c, lay, err := classfile.ParseGlobal(payload)
+		if err != nil {
+			return nil, fmt.Errorf("%w: class %d: %v", ErrBadStream, ci, err)
+		}
+		if err := verify.VerifyGlobal(c); err != nil {
+			return nil, err
+		}
+		l.classes[ci] = c
+		l.layouts[ci] = lay
+		return []Event{{Kind: ClassLinked, Class: c.Name, Bytes: l.consumed}}, nil
+
+	case KindBody:
+		c, ok := l.classes[ci]
+		if !ok {
+			return nil, fmt.Errorf("%w: body before global data for class %d", ErrBadStream, ci)
+		}
+		bi := l.nextBody[ci]
+		if bi >= len(c.Methods) {
+			return nil, fmt.Errorf("%w: class %s: extra body unit", ErrBadStream, c.Name)
+		}
+		m := c.Methods[bi]
+		ml := l.layouts[ci].Methods[bi]
+		localLen := ml.CodeStart - ml.BodyStart
+		codeLen := ml.DelimEnd - classfile.DelimSize - ml.CodeStart
+		if len(payload) != localLen+codeLen+classfile.DelimSize {
+			return nil, fmt.Errorf("%w: class %s method %d: body is %d bytes, header promised %d",
+				ErrBadStream, c.Name, bi, len(payload), localLen+codeLen+classfile.DelimSize)
+		}
+		if [classfile.DelimSize]byte(payload[localLen+codeLen:]) != classfile.Delim {
+			return nil, fmt.Errorf("%w: class %s method %d: bad delimiter", ErrBadStream, c.Name, bi)
+		}
+		m.LocalData = payload[:localLen:localLen]
+		m.Code = payload[localLen : localLen+codeLen : localLen+codeLen]
+		if err := verify.VerifyMethod(c, m, l.resolver); err != nil {
+			return nil, err
+		}
+		l.nextBody[ci] = bi + 1
+		ref := classfile.Ref{Class: c.Name, Name: c.MethodName(m)}
+		events := []Event{{Kind: MethodReady, Class: c.Name, Method: ref, Bytes: l.consumed}}
+		if l.nextBody[ci] == len(c.Methods) {
+			events = append(events, Event{Kind: ClassComplete, Class: c.Name, Bytes: l.consumed})
+		}
+		return events, nil
+
+	default:
+		return nil, fmt.Errorf("%w: unknown unit kind %d", ErrBadStream, kind)
+	}
+}
+
+// Program assembles the loaded classes. It fails if any method body is
+// still missing.
+func (l *Loader) Program() (*classfile.Program, error) {
+	p := &classfile.Program{Name: l.name, MainClass: l.mainClass}
+	for ci := 0; ; ci++ {
+		c, ok := l.classes[ci]
+		if !ok {
+			break
+		}
+		if l.nextBody[ci] != len(c.Methods) {
+			return nil, fmt.Errorf("stream: class %s has %d of %d method bodies",
+				c.Name, l.nextBody[ci], len(c.Methods))
+		}
+		p.Classes = append(p.Classes, c)
+	}
+	if len(p.Classes) != len(l.classes) {
+		return nil, fmt.Errorf("stream: class indices are not contiguous")
+	}
+	if p.Class(l.mainClass) == nil {
+		return nil, fmt.Errorf("stream: entry class %q never arrived", l.mainClass)
+	}
+	return p, nil
+}
+
+// Consumed returns the stream bytes processed so far.
+func (l *Loader) Consumed() int64 { return l.consumed }
+
+// Resolver returns a verify.Resolver answering from the classes whose
+// global data has arrived so far — the incremental link state of the
+// paper's §3.1.1 ("interprocedural dependence analysis is performed as
+// methods are loaded and verified").
+func (l *Loader) Resolver() verify.Resolver { return loaderResolver{l} }
+
+type loaderResolver struct{ l *Loader }
+
+func (r loaderResolver) MethodArity(class, name string) (int, int, bool) {
+	for _, c := range r.l.classes {
+		if c.Name != class {
+			continue
+		}
+		m := c.MethodByName(name)
+		if m == nil {
+			return 0, 0, true // class known, method definitively missing
+		}
+		return m.NArgs, m.NRet, true
+	}
+	return 0, 0, false // class not yet arrived: defer
+}
+
+func (r loaderResolver) HasField(class, name string) (bool, bool) {
+	for _, c := range r.l.classes {
+		if c.Name != class {
+			continue
+		}
+		for _, f := range c.Fields {
+			if c.Utf8(f.Name) == name {
+				return true, true
+			}
+		}
+		return false, true
+	}
+	return false, false
+}

@@ -1,0 +1,269 @@
+package stream
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+
+	"nonstrict/internal/apps"
+	"nonstrict/internal/cfg"
+	"nonstrict/internal/classfile"
+	"nonstrict/internal/jir"
+	"nonstrict/internal/reorder"
+	"nonstrict/internal/restructure"
+	"nonstrict/internal/vm"
+)
+
+// plan builds a restructured benchmark and its stream writer.
+func plan(t *testing.T, name string) (*apps.App, *classfile.Program, *classfile.Index, *Writer) {
+	t.Helper()
+	app, err := apps.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := jir.Compile(app.IR)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix := prog.IndexMethods()
+	graphs, err := cfg.BuildAll(ix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ord, err := reorder.Static(ix, graphs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rp := restructure.Apply(prog, ix, ord)
+	w, err := NewWriter(rp, ix, ord)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return app, rp, ix, w
+}
+
+func TestRoundTripAndExecute(t *testing.T) {
+	app, rp, ix, w := plan(t, "Hanoi")
+
+	var buf bytes.Buffer
+	n, err := w.WriteTo(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != w.Size() || int64(buf.Len()) != n {
+		t.Fatalf("wrote %d bytes, Size says %d, buffer has %d", n, w.Size(), buf.Len())
+	}
+
+	l := NewLoader(rp.Name, rp.MainClass, nil)
+	var events []Event
+	if err := l.Load(&buf, func(e Event) { events = append(events, e) }); err != nil {
+		t.Fatal(err)
+	}
+
+	// Event structure: one ClassLinked + ClassComplete per class, one
+	// MethodReady per method; every class's link precedes its methods;
+	// Bytes is non-decreasing.
+	var linked, ready, complete int
+	linkedSet := map[string]bool{}
+	var prevBytes int64
+	for _, e := range events {
+		if e.Bytes < prevBytes {
+			t.Fatalf("event bytes went backwards: %+v", e)
+		}
+		prevBytes = e.Bytes
+		switch e.Kind {
+		case ClassLinked:
+			linked++
+			linkedSet[e.Class] = true
+		case MethodReady:
+			ready++
+			if !linkedSet[e.Class] {
+				t.Fatalf("method %v ready before class linked", e.Method)
+			}
+		case ClassComplete:
+			complete++
+		}
+	}
+	if linked != len(rp.Classes) || complete != len(rp.Classes) {
+		t.Errorf("linked %d, complete %d, classes %d", linked, complete, len(rp.Classes))
+	}
+	if ready != ix.Len() {
+		t.Errorf("ready %d, methods %d", ready, ix.Len())
+	}
+
+	// The first MethodReady is main: that is the non-strict invocation
+	// point.
+	for _, e := range events {
+		if e.Kind == MethodReady {
+			if e.Method != rp.Main() {
+				t.Errorf("first ready method %v, want %v", e.Method, rp.Main())
+			}
+			if e.Bytes >= w.Size() {
+				t.Error("main only ready at end of stream")
+			}
+			break
+		}
+	}
+
+	// The assembled program runs and passes the workload self-check.
+	got, err := l.Program()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := vm.Link(got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := ln.Run(vm.Options{Args: app.TestArgs, MaxSteps: 1e8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := app.Check(m, false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIncrementalResolver(t *testing.T) {
+	_, rp, _, w := plan(t, "Hanoi")
+	var buf bytes.Buffer
+	if _, err := w.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// Verify each method against the loader's own incremental state.
+	l := NewLoader(rp.Name, rp.MainClass, nil)
+	l.resolver = l.Resolver()
+	if err := l.Load(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Program(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLoaderRejectsMalformedStreams(t *testing.T) {
+	_, rp, _, w := plan(t, "Hanoi")
+	var buf bytes.Buffer
+	if _, err := w.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+
+	load := func(data []byte) error {
+		l := NewLoader(rp.Name, rp.MainClass, nil)
+		return l.Load(bytes.NewReader(data), nil)
+	}
+
+	t.Run("truncated-mid-unit", func(t *testing.T) {
+		if err := load(good[:len(good)/2]); err == nil {
+			t.Error("accepted truncated stream")
+		}
+	})
+	t.Run("body-before-global", func(t *testing.T) {
+		// Skip the first unit (a global) and feed from the next header.
+		// The next unit's class has no global yet.
+		n := int(uint32(good[3])<<24 | uint32(good[4])<<16 | uint32(good[5])<<8 | uint32(good[6]))
+		if err := load(good[headerSize+n:]); err == nil {
+			t.Error("accepted body before global")
+		}
+	})
+	t.Run("bad-kind", func(t *testing.T) {
+		mut := append([]byte(nil), good...)
+		mut[2] = 9
+		err := load(mut)
+		if err == nil || !errors.Is(err, ErrBadStream) {
+			t.Errorf("err = %v", err)
+		}
+	})
+	t.Run("corrupt-delimiter", func(t *testing.T) {
+		mut := append([]byte(nil), good...)
+		// Find a body unit and break its final delimiter byte: walk units.
+		off := 0
+		for off+headerSize <= len(mut) {
+			kind := mut[off+2]
+			n := int(uint32(mut[off+3])<<24 | uint32(mut[off+4])<<16 | uint32(mut[off+5])<<8 | uint32(mut[off+6]))
+			if kind == KindBody {
+				mut[off+headerSize+n-1] ^= 0xFF
+				break
+			}
+			off += headerSize + n
+		}
+		if err := load(mut); err == nil {
+			t.Error("accepted corrupt delimiter")
+		}
+	})
+	t.Run("incomplete-program", func(t *testing.T) {
+		// Cut the stream cleanly between units: after the first two.
+		off := 0
+		for i := 0; i < 2; i++ {
+			n := int(uint32(good[off+3])<<24 | uint32(good[off+4])<<16 | uint32(good[off+5])<<8 | uint32(good[off+6]))
+			off += headerSize + n
+		}
+		l := NewLoader(rp.Name, rp.MainClass, nil)
+		if err := l.Load(bytes.NewReader(good[:off]), nil); err != nil {
+			t.Fatalf("clean prefix rejected: %v", err)
+		}
+		if _, err := l.Program(); err == nil {
+			t.Error("assembled a program with missing bodies")
+		}
+	})
+}
+
+func TestWriterRejectsUnrestructured(t *testing.T) {
+	app, err := apps.ByName("Hanoi")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := jir.Compile(app.IR)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix := prog.IndexMethods()
+	graphs, err := cfg.BuildAll(ix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ord, err := reorder.Static(ix, graphs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Deliberately skip restructure.Apply: the declaration order in the
+	// files disagrees with the first-use order.
+	if _, err := NewWriter(prog, ix, ord); err == nil || !strings.Contains(err.Error(), "restructured") {
+		t.Fatalf("err = %v, want restructuring complaint", err)
+	}
+}
+
+func TestAllBenchmarksStream(t *testing.T) {
+	for _, name := range []string{"Hanoi", "TestDes", "JHLZip", "JavaCup", "Jess", "BIT"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			app, rp, _, w := plan(t, name)
+			pr, pw := io.Pipe()
+			go func() {
+				_, err := w.WriteTo(pw)
+				pw.CloseWithError(err)
+			}()
+			l := NewLoader(rp.Name, rp.MainClass, nil)
+			if err := l.Load(pr, nil); err != nil {
+				t.Fatal(err)
+			}
+			got, err := l.Program()
+			if err != nil {
+				t.Fatal(err)
+			}
+			ln, err := vm.Link(got)
+			if err != nil {
+				t.Fatal(err)
+			}
+			m, err := ln.Run(vm.Options{Args: app.TestArgs, MaxSteps: 5e8})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := app.Check(m, false); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}

@@ -1,0 +1,117 @@
+package transfer
+
+import (
+	"fmt"
+
+	"nonstrict/internal/classfile"
+	"nonstrict/internal/datapart"
+	"nonstrict/internal/reorder"
+	"nonstrict/internal/restructure"
+)
+
+// Dep is one start trigger: the dependent class may begin transfer once
+// Bytes bytes of class Class have been delivered.
+type Dep struct {
+	Class string
+	Bytes int
+}
+
+// Schedule is the parallel-transfer plan (§5.1): for each class, the set
+// of byte thresholds in earlier-first-use classes that gate its start.
+// Classes with no dependencies (the main class) start at cycle zero.
+type Schedule struct {
+	// ClassOrder lists classes in first-use order; it is also the start
+	// priority when several classes become eligible together.
+	ClassOrder []string
+	// Deps maps each class to its triggers (empty for the first class).
+	Deps map[string][]Dep
+}
+
+// BuildSchedule runs the paper's greedy algorithm. Class B depends on
+// every class A whose first method executes before B's first method; the
+// trigger threshold is the number of "unique bytes" of A predicted to be
+// consumed before B is first needed — the stream offset in A of the last
+// A-method preceding B's first use.
+//
+// covered selects the estimate: nil uses static sizes (the SCG variant);
+// otherwise covered[id] is the profiled unique executed code bytes of
+// method id (the Train/Test variants), and prefix sums use covered code
+// bytes in place of full code bytes.
+func BuildSchedule(order *reorder.Order, ix *classfile.Index, files map[string]*File,
+	l *restructure.Layouts, part *datapart.Partition, covered []int) (*Schedule, error) {
+
+	s := &Schedule{
+		ClassOrder: order.ClassOrder(ix),
+		Deps:       make(map[string][]Dep),
+	}
+
+	// uniqueOffset[class][i] = predicted bytes of the class consumed
+	// once its first i+1 file-order methods have first-run.
+	uniqueOffset := make(map[string][]int, len(files))
+	for cls, refs := range l.FileOrder {
+		offs := make([]int, len(refs))
+		var off int
+		if part != nil {
+			off = part.NeededFirst[cls]
+		} else {
+			off = l.GlobalEnd[cls]
+		}
+		for i, r := range refs {
+			if part != nil {
+				off += part.GMD[r]
+			}
+			if covered != nil {
+				id := ix.ID(r)
+				if id == classfile.NoMethod {
+					return nil, fmt.Errorf("transfer: schedule: unknown method %v", r)
+				}
+				body := l.BodySize[r]
+				code := len(ix.Method(id).Code)
+				off += body - code + covered[id]
+			} else {
+				off += l.BodySize[r]
+			}
+			offs[i] = off
+		}
+		uniqueOffset[cls] = offs
+	}
+
+	// rankOfFirst[class] = order position of the class's first method.
+	rankOfFirst := make(map[string]int, len(files))
+	for pos, id := range order.Methods {
+		cls := ix.Class(id).Name
+		if _, ok := rankOfFirst[cls]; !ok {
+			rankOfFirst[cls] = pos
+		}
+	}
+
+	for _, cls := range s.ClassOrder {
+		rB := rankOfFirst[cls]
+		var deps []Dep
+		for _, a := range s.ClassOrder {
+			if a == cls {
+				continue
+			}
+			if rankOfFirst[a] >= rB {
+				continue // A does not execute before B's first method
+			}
+			// Last file-order index in A whose method ranks before rB.
+			last := -1
+			for i, r := range l.FileOrder[a] {
+				if order.Rank[ix.ID(r)] < rB && i > last {
+					last = i
+				}
+			}
+			if last < 0 {
+				continue
+			}
+			bytes := uniqueOffset[a][last]
+			if max := files[a].Size; bytes > max {
+				bytes = max
+			}
+			deps = append(deps, Dep{Class: a, Bytes: bytes})
+		}
+		s.Deps[cls] = deps
+	}
+	return s, nil
+}

@@ -1,0 +1,263 @@
+// Package transfer models network delivery of class files and implements
+// the paper's transfer methodologies: strict sequential transfer, parallel
+// file transfer under a greedy dependency-driven schedule (§5.1), and
+// interleaved (single virtual file) transfer (§5.2).
+//
+// All engines share one abstraction: a class file is a byte stream, and
+// each method has an availability offset — the number of bytes of its
+// class's stream that must arrive before the method may execute. Strict
+// execution sets every method's offset to the whole file; non-strict
+// execution uses the method-delimiter offset; data partitioning shrinks
+// the global-data prefix to the needed-first section plus per-method GMDs.
+package transfer
+
+import (
+	"fmt"
+
+	"nonstrict/internal/classfile"
+	"nonstrict/internal/datapart"
+	"nonstrict/internal/reorder"
+	"nonstrict/internal/restructure"
+)
+
+// Link is a fixed-bandwidth network link, expressed as the paper does:
+// processor cycles per transferred byte.
+type Link struct {
+	Name          string
+	CyclesPerByte int64
+}
+
+// The paper's two links on a 500 MHz Alpha: a T1 line (~1 Mbit/s) costs
+// 3,815 cycles per byte; a 28.8 Kbaud modem costs 134,698.
+var (
+	T1    = Link{Name: "T1", CyclesPerByte: 3815}
+	Modem = Link{Name: "Modem", CyclesPerByte: 134698}
+)
+
+// File is one class file as the engines see it: a stream of Size bytes
+// with per-method availability offsets.
+type File struct {
+	Name  string
+	Size  int
+	Avail map[classfile.Ref]int
+}
+
+// Mode selects how availability offsets are derived.
+type Mode int
+
+const (
+	// Strict: a method is available only when its whole file has arrived.
+	Strict Mode = iota
+	// NonStrict: a method is available at its delimiter offset.
+	NonStrict
+	// Partitioned: non-strict with global-data partitioning; the stream
+	// is [needed-first][GMD+body per method][unused globals].
+	Partitioned
+)
+
+func (m Mode) String() string {
+	switch m {
+	case Strict:
+		return "strict"
+	case NonStrict:
+		return "non-strict"
+	case Partitioned:
+		return "partitioned"
+	}
+	return fmt.Sprintf("Mode(%d)", int(m))
+}
+
+// BuildFiles derives the per-class streams of program p (already
+// restructured) for the given mode. part may be nil unless mode is
+// Partitioned.
+func BuildFiles(p *classfile.Program, l *restructure.Layouts, mode Mode, part *datapart.Partition) (map[string]*File, error) {
+	if mode == Partitioned && part == nil {
+		return nil, fmt.Errorf("transfer: Partitioned mode requires a partition")
+	}
+	out := make(map[string]*File, len(p.Classes))
+	for _, c := range p.Classes {
+		f := &File{
+			Name:  c.Name,
+			Size:  l.FileSize[c.Name],
+			Avail: make(map[classfile.Ref]int, len(c.Methods)),
+		}
+		switch mode {
+		case Strict:
+			for _, r := range l.FileOrder[c.Name] {
+				f.Avail[r] = f.Size
+			}
+		case NonStrict:
+			for _, r := range l.FileOrder[c.Name] {
+				f.Avail[r] = l.Avail[r]
+			}
+		case Partitioned:
+			off := part.NeededFirst[c.Name]
+			for _, r := range l.FileOrder[c.Name] {
+				off += part.GMD[r] + l.BodySize[r]
+				f.Avail[r] = off
+			}
+			// The unused global bytes trail the stream; total size is
+			// unchanged.
+			if got := off + part.Unused[c.Name]; got != f.Size {
+				return nil, fmt.Errorf("transfer: class %s: partitioned stream is %d bytes, file is %d",
+					c.Name, got, f.Size)
+			}
+		default:
+			return nil, fmt.Errorf("transfer: unknown mode %v", mode)
+		}
+		out[c.Name] = f
+	}
+	return out, nil
+}
+
+// Engine is a transfer simulation consumed by the overlap simulator. The
+// simulator calls Demand with a non-decreasing clock each time execution
+// first reaches a method; the engine advances its internal transfer state
+// to that cycle, applies any demand-driven correction, and returns the
+// cycle (>= now) at which the method's bytes have arrived.
+type Engine interface {
+	Demand(m classfile.Ref, now int64) int64
+	// Mispredicts counts demand corrections: invocations of methods
+	// whose class was neither transferred nor transferring.
+	Mispredicts() int
+}
+
+// TotalBytes sums the stream sizes of files.
+func TotalBytes(files map[string]*File) int {
+	n := 0
+	for _, f := range files {
+		n += f.Size
+	}
+	return n
+}
+
+// sequential is the strict baseline engine: class files transfer one at a
+// time, to completion, in a fixed order.
+type sequential struct {
+	link   Link
+	finish map[string]int64 // per-class completion cycle
+	avail  map[classfile.Ref]int64
+}
+
+// NewSequential builds the one-at-a-time engine. classOrder fixes the
+// transfer order (typically the first-use class order); methods become
+// available per the files' offsets, measured within each class's slot.
+func NewSequential(classOrder []string, files map[string]*File, link Link) (Engine, error) {
+	if len(classOrder) != len(files) {
+		return nil, fmt.Errorf("transfer: class order has %d classes, files %d", len(classOrder), len(files))
+	}
+	e := &sequential{
+		link:   link,
+		finish: make(map[string]int64, len(files)),
+		avail:  make(map[classfile.Ref]int64),
+	}
+	var off int64
+	for _, name := range classOrder {
+		f, ok := files[name]
+		if !ok {
+			return nil, fmt.Errorf("transfer: class order names unknown class %q", name)
+		}
+		for r, a := range f.Avail {
+			e.avail[r] = (off + int64(a)) * link.CyclesPerByte
+		}
+		off += int64(f.Size)
+		e.finish[name] = off * link.CyclesPerByte
+	}
+	return e, nil
+}
+
+func (e *sequential) Demand(m classfile.Ref, now int64) int64 {
+	t, ok := e.avail[m]
+	if !ok {
+		// Unknown method: conservatively wait for everything.
+		var max int64
+		for _, f := range e.finish {
+			if f > max {
+				max = f
+			}
+		}
+		return maxi64(now, max)
+	}
+	return maxi64(now, t)
+}
+
+func (e *sequential) Mispredicts() int { return 0 }
+
+func maxi64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Arrival is one method's delivery in an interleaved stream.
+type Arrival struct {
+	Ref   classfile.Ref
+	At    int64 // cycle the method's bytes finish arriving
+	Bytes int   // method body size (plus GMD when partitioned)
+}
+
+// ArrivalSchedule is implemented by engines whose delivery times are
+// fixed up front (the interleaved engine); the JIT-overlap simulator
+// consumes it to pipeline compilation behind transfer.
+type ArrivalSchedule interface {
+	Arrivals() []Arrival
+}
+
+// interleaved is the §5.2 engine: one virtual file containing every
+// class's global data and method bodies, merged in predicted first-use
+// order; each class's global data (or needed-first section) immediately
+// precedes its first method unit.
+type interleaved struct {
+	avail    map[classfile.Ref]int64
+	total    int64
+	arrivals []Arrival
+}
+
+// NewInterleaved builds the virtual-file engine. ix indexes the original
+// program (orders are expressed in its MethodIDs); l and part describe
+// the restructured layout.
+func NewInterleaved(order *reorder.Order, ix *classfile.Index, l *restructure.Layouts, part *datapart.Partition, link Link) Engine {
+	e := &interleaved{avail: make(map[classfile.Ref]int64, len(order.Methods))}
+	emitted := make(map[string]bool)
+	var off int64
+	for _, id := range order.Methods {
+		r := ix.Ref(id)
+		if !emitted[r.Class] {
+			emitted[r.Class] = true
+			if part != nil {
+				off += int64(part.NeededFirst[r.Class])
+			} else {
+				off += int64(l.GlobalEnd[r.Class])
+			}
+		}
+		unitBytes := l.BodySize[r]
+		if part != nil {
+			unitBytes += part.GMD[r]
+		}
+		off += int64(unitBytes)
+		e.avail[r] = off * link.CyclesPerByte
+		e.arrivals = append(e.arrivals, Arrival{Ref: r, At: e.avail[r], Bytes: unitBytes})
+	}
+	if part != nil {
+		for cls := range emitted {
+			off += int64(part.Unused[cls])
+		}
+	}
+	e.total = off * link.CyclesPerByte
+	return e
+}
+
+func (e *interleaved) Demand(m classfile.Ref, now int64) int64 {
+	t, ok := e.avail[m]
+	if !ok {
+		return maxi64(now, e.total)
+	}
+	return maxi64(now, t)
+}
+
+func (e *interleaved) Mispredicts() int { return 0 }
+
+// Arrivals implements ArrivalSchedule: methods in stream order with
+// their delivery cycles.
+func (e *interleaved) Arrivals() []Arrival { return e.arrivals }

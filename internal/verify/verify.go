@@ -1,0 +1,383 @@
+// Package verify implements the incremental verification the paper's
+// non-strict JVM performs (§3.1.1): class-level checks run as soon as the
+// global data arrives, and per-method bytecode checks run as each method
+// body arrives — so verification streams with the transfer instead of
+// gating on whole files.
+//
+// Class-level checks (VerifyGlobal): constant-pool well-formedness (tag
+// validity, reference indices in range and of the right kind, no cycles
+// by construction), this/super resolution, field and method header
+// validity, and descriptor syntax.
+//
+// Method-level checks (VerifyMethod): decodability, branch targets on
+// instruction boundaries, constant-pool operand kinds, local-slot bounds
+// against MaxLocals, and an abstract stack-depth simulation proving the
+// operand stack never underflows, never exceeds MaxStack, and is
+// consistent at every join point.
+package verify
+
+import (
+	"fmt"
+
+	"nonstrict/internal/bytecode"
+	"nonstrict/internal/classfile"
+)
+
+// Error is a verification failure.
+type Error struct {
+	Class  string
+	Method string // empty for class-level failures
+	Msg    string
+}
+
+func (e *Error) Error() string {
+	if e.Method == "" {
+		return fmt.Sprintf("verify: class %s: %s", e.Class, e.Msg)
+	}
+	return fmt.Sprintf("verify: %s.%s: %s", e.Class, e.Method, e.Msg)
+}
+
+func classErr(c *classfile.Class, format string, args ...any) error {
+	return &Error{Class: c.Name, Msg: fmt.Sprintf(format, args...)}
+}
+
+// VerifyGlobal checks everything checkable once a class's global data has
+// arrived — steps 1 and 2 of the paper's five-step verification.
+func VerifyGlobal(c *classfile.Class) error {
+	n := len(c.CP)
+	if n == 0 {
+		return classErr(c, "empty constant pool")
+	}
+	inRange := func(i uint16) bool { return int(i) > 0 && int(i) < n }
+	wantKind := func(i uint16, k classfile.ConstKind, what string) error {
+		if !inRange(i) {
+			return classErr(c, "%s references constant %d, pool has %d entries", what, i, n)
+		}
+		if got := c.CP[i].Kind; got != k {
+			return classErr(c, "%s references a %v constant, want %v", what, got, k)
+		}
+		return nil
+	}
+
+	for i := 1; i < n; i++ {
+		e := c.CP[i]
+		what := fmt.Sprintf("constant %d (%v)", i, e.Kind)
+		switch e.Kind {
+		case classfile.KUtf8, classfile.KInteger, classfile.KFloat,
+			classfile.KLong, classfile.KDouble:
+			// Self-contained.
+		case classfile.KClass, classfile.KString:
+			if err := wantKind(e.A, classfile.KUtf8, what); err != nil {
+				return err
+			}
+		case classfile.KNameAndType:
+			if err := wantKind(e.A, classfile.KUtf8, what); err != nil {
+				return err
+			}
+			if err := wantKind(e.B, classfile.KUtf8, what); err != nil {
+				return err
+			}
+		case classfile.KFieldRef, classfile.KMethodRef, classfile.KInterfaceMethodRef:
+			if err := wantKind(e.A, classfile.KClass, what); err != nil {
+				return err
+			}
+			if err := wantKind(e.B, classfile.KNameAndType, what); err != nil {
+				return err
+			}
+		default:
+			return classErr(c, "constant %d has invalid tag %d", i, e.Kind)
+		}
+	}
+
+	if err := wantKind(c.ThisClass, classfile.KClass, "this_class"); err != nil {
+		return err
+	}
+	if c.SuperClass != 0 {
+		if err := wantKind(c.SuperClass, classfile.KClass, "super_class"); err != nil {
+			return err
+		}
+	}
+	for _, i := range c.Interfaces {
+		if err := wantKind(i, classfile.KClass, "interface"); err != nil {
+			return err
+		}
+	}
+	for fi, f := range c.Fields {
+		what := fmt.Sprintf("field %d", fi)
+		if err := wantKind(f.Name, classfile.KUtf8, what); err != nil {
+			return err
+		}
+		if err := wantKind(f.Desc, classfile.KUtf8, what); err != nil {
+			return err
+		}
+		for _, a := range f.Attrs {
+			if err := wantKind(a.Name, classfile.KUtf8, what+" attribute"); err != nil {
+				return err
+			}
+		}
+	}
+	for _, a := range c.Attrs {
+		if err := wantKind(a.Name, classfile.KUtf8, "class attribute"); err != nil {
+			return err
+		}
+	}
+	seen := make(map[string]bool, len(c.Methods))
+	for mi, m := range c.Methods {
+		what := fmt.Sprintf("method %d", mi)
+		if err := wantKind(m.Name, classfile.KUtf8, what); err != nil {
+			return err
+		}
+		if err := wantKind(m.Desc, classfile.KUtf8, what); err != nil {
+			return err
+		}
+		name := c.Utf8(m.Name)
+		if seen[name] {
+			return classErr(c, "duplicate method %q", name)
+		}
+		seen[name] = true
+		na, nr, err := classfile.ParseDescriptor(c.Utf8(m.Desc))
+		if err != nil {
+			return classErr(c, "method %q: %v", name, err)
+		}
+		if na != m.NArgs || nr != m.NRet {
+			return classErr(c, "method %q: cached arity (%d,%d) disagrees with descriptor (%d,%d)",
+				name, m.NArgs, m.NRet, na, nr)
+		}
+		if int(m.MaxLocals) < m.NArgs {
+			return classErr(c, "method %q: MaxLocals %d below arity %d", name, m.MaxLocals, m.NArgs)
+		}
+	}
+	return nil
+}
+
+// Resolver answers cross-class questions during method verification. In
+// a non-strict loader this is the incremental link state: a callee's
+// arity is known once the callee class's global data has arrived.
+type Resolver interface {
+	// MethodArity returns the arity of class.name, or ok=false if the
+	// class's global data has not arrived yet (the check is then
+	// deferred, as the paper defers cross-class dependence analysis).
+	MethodArity(class, name string) (nargs, nret int, ok bool)
+	// HasField reports whether class.name is a declared static field,
+	// with ok=false when unknown.
+	HasField(class, name string) (exists, ok bool)
+}
+
+// ProgramResolver resolves against a fully available program.
+type ProgramResolver struct{ Prog *classfile.Program }
+
+// MethodArity implements Resolver.
+func (r ProgramResolver) MethodArity(class, name string) (int, int, bool) {
+	c := r.Prog.Class(class)
+	if c == nil {
+		return 0, 0, true // resolved: definitively missing
+	}
+	m := c.MethodByName(name)
+	if m == nil {
+		return 0, 0, true
+	}
+	return m.NArgs, m.NRet, true
+}
+
+// HasField implements Resolver.
+func (r ProgramResolver) HasField(class, name string) (bool, bool) {
+	c := r.Prog.Class(class)
+	if c == nil {
+		return false, true
+	}
+	for _, f := range c.Fields {
+		if c.Utf8(f.Name) == name {
+			return true, true
+		}
+	}
+	return false, true
+}
+
+func methodErr(c *classfile.Class, m *classfile.Method, format string, args ...any) error {
+	return &Error{Class: c.Name, Method: c.MethodName(m), Msg: fmt.Sprintf(format, args...)}
+}
+
+// VerifyMethod checks one method body — the per-procedure step the
+// non-strict loader runs as each delimiter arrives. res may be nil to
+// skip cross-class checks (they are then the caller's responsibility,
+// matching the paper's deferred interprocedural analysis).
+func VerifyMethod(c *classfile.Class, m *classfile.Method, res Resolver) error {
+	instrs, err := bytecode.Decode(m.Code)
+	if err != nil {
+		return methodErr(c, m, "%v", err)
+	}
+	if len(instrs) == 0 {
+		return methodErr(c, m, "empty code")
+	}
+
+	// Instruction boundary map.
+	off2idx := make(map[int]int, len(instrs))
+	offs := make([]int, len(instrs))
+	off := 0
+	for i, in := range instrs {
+		off2idx[off] = i
+		offs[i] = off
+		off += in.Width()
+	}
+
+	// Per-instruction stack effect, resolving call arity.
+	type effect struct{ pop, push int }
+	effects := make([]effect, len(instrs))
+	targets := make([]int, len(instrs)) // branch target instruction index or -1
+	for i, in := range instrs {
+		targets[i] = -1
+		info := in.Op.Info()
+		switch {
+		case info.Branch:
+			tgt, ok := off2idx[offs[i]+int(in.Arg)]
+			if !ok {
+				return methodErr(c, m, "branch at offset %d into the middle of an instruction", offs[i])
+			}
+			targets[i] = tgt
+			effects[i] = effect{info.Pop, info.Push}
+		case in.Op == bytecode.INVOKE:
+			cls, name, desc, err := refOperand(c, uint16(in.Arg), classfile.KMethodRef)
+			if err != nil {
+				return methodErr(c, m, "%v", err)
+			}
+			na, nr, derr := classfile.ParseDescriptor(desc)
+			if derr != nil {
+				return methodErr(c, m, "call descriptor: %v", derr)
+			}
+			if res != nil {
+				if cna, cnr, ok := res.MethodArity(cls, name); ok {
+					if cna != na || cnr != nr {
+						return methodErr(c, m, "call to %s.%s expects (%d)->%d, target is (%d)->%d",
+							cls, name, na, nr, cna, cnr)
+					}
+				}
+			}
+			effects[i] = effect{na, nr}
+		case in.Op == bytecode.GETSTATIC || in.Op == bytecode.PUTSTATIC:
+			cls, name, _, err := refOperand(c, uint16(in.Arg), classfile.KFieldRef)
+			if err != nil {
+				return methodErr(c, m, "%v", err)
+			}
+			if res != nil {
+				if exists, ok := res.HasField(cls, name); ok && !exists {
+					return methodErr(c, m, "access to undeclared field %s.%s", cls, name)
+				}
+			}
+			effects[i] = effect{info.Pop, info.Push}
+		case in.Op == bytecode.LDC:
+			if int(in.Arg) <= 0 || int(in.Arg) >= len(c.CP) {
+				return methodErr(c, m, "LDC of constant %d, pool has %d entries", in.Arg, len(c.CP))
+			}
+			switch k := c.CP[in.Arg].Kind; k {
+			case classfile.KInteger, classfile.KLong, classfile.KString:
+			default:
+				return methodErr(c, m, "LDC of unsupported %v constant", k)
+			}
+			effects[i] = effect{info.Pop, info.Push}
+		case in.Op == bytecode.LOAD || in.Op == bytecode.STORE || in.Op == bytecode.IINC:
+			if int(in.Arg) >= int(m.MaxLocals) {
+				return methodErr(c, m, "%s of local %d, MaxLocals is %d", in.Op, in.Arg, m.MaxLocals)
+			}
+			effects[i] = effect{info.Pop, info.Push}
+		default:
+			effects[i] = effect{info.Pop, info.Push}
+		}
+	}
+
+	// Abstract stack-depth simulation over the control-flow graph.
+	depth := make([]int, len(instrs))
+	for i := range depth {
+		depth[i] = -1
+	}
+	depth[0] = 0
+	work := []int{0}
+	flow := func(to, d int) error {
+		if d < 0 {
+			return methodErr(c, m, "stack underflow reaching instruction %d", to)
+		}
+		if d > int(m.MaxStack) {
+			return methodErr(c, m, "stack depth %d exceeds MaxStack %d at instruction %d", d, m.MaxStack, to)
+		}
+		if depth[to] == -1 {
+			depth[to] = d
+			work = append(work, to)
+			return nil
+		}
+		if depth[to] != d {
+			return methodErr(c, m, "inconsistent stack depth at join %d: %d vs %d", to, depth[to], d)
+		}
+		return nil
+	}
+	for len(work) > 0 {
+		i := work[len(work)-1]
+		work = work[:len(work)-1]
+		in := instrs[i]
+		info := in.Op.Info()
+		d := depth[i] - effects[i].pop
+		if d < 0 {
+			return methodErr(c, m, "stack underflow at instruction %d (%s)", i, in.Op)
+		}
+		d += effects[i].push
+		if d > int(m.MaxStack) {
+			return methodErr(c, m, "stack depth %d exceeds MaxStack %d after instruction %d (%s)",
+				d, m.MaxStack, i, in.Op)
+		}
+		if targets[i] >= 0 {
+			if err := flow(targets[i], d); err != nil {
+				return err
+			}
+		}
+		if !info.Terminal {
+			if i+1 >= len(instrs) {
+				return methodErr(c, m, "control falls off the end of the code")
+			}
+			if err := flow(i+1, d); err != nil {
+				return err
+			}
+		}
+		if in.Op == bytecode.IRETURN && depth[i] < 1 {
+			return methodErr(c, m, "ireturn with empty stack")
+		}
+	}
+	return nil
+}
+
+// refOperand validates a member-reference operand and resolves it.
+// KMethodRef accepts InterfaceMethodRef as well, as the JVM does.
+func refOperand(c *classfile.Class, idx uint16, want classfile.ConstKind) (cls, name, desc string, err error) {
+	if int(idx) <= 0 || int(idx) >= len(c.CP) {
+		return "", "", "", fmt.Errorf("operand references constant %d, pool has %d entries", idx, len(c.CP))
+	}
+	k := c.CP[idx].Kind
+	okKind := k == want || (want == classfile.KMethodRef && k == classfile.KInterfaceMethodRef)
+	if !okKind {
+		return "", "", "", fmt.Errorf("operand references a %v constant, want %v", k, want)
+	}
+	cls, name, desc = c.RefTarget(idx)
+	return cls, name, desc, nil
+}
+
+// VerifyClass runs the global check followed by every method check — the
+// strict-execution behaviour, provided for parity and for tests.
+func VerifyClass(c *classfile.Class, res Resolver) error {
+	if err := VerifyGlobal(c); err != nil {
+		return err
+	}
+	for _, m := range c.Methods {
+		if err := VerifyMethod(c, m, res); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// VerifyProgram verifies every class against the whole-program resolver.
+func VerifyProgram(p *classfile.Program) error {
+	res := ProgramResolver{Prog: p}
+	for _, c := range p.Classes {
+		if err := VerifyClass(c, res); err != nil {
+			return err
+		}
+	}
+	return nil
+}

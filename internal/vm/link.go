@@ -1,0 +1,191 @@
+// Package vm interprets substrate programs.
+//
+// The VM plays two roles from the paper's methodology. It is the
+// execution engine that gives every workload real dynamic behaviour, and
+// it is the instrumentation layer (the paper used BIT): it measures
+// per-method dynamic instruction counts, the first-use order of methods,
+// per-method covered (unique executed) code bytes, and an exact segment
+// trace — the sequence of (method, instruction-count) runs between
+// control transfers — that the overlap simulator replays.
+package vm
+
+import (
+	"fmt"
+
+	"nonstrict/internal/bytecode"
+	"nonstrict/internal/classfile"
+)
+
+// Internal pseudo-opcodes produced by linking. They never appear in wire
+// code; LDC is split by constant kind so the interpreter loop stays a flat
+// switch.
+const (
+	xLdcInt bytecode.Op = 200 + iota // a indexes Machine.consts
+	xLdcStr                          // a indexes Machine.strs
+)
+
+// linkedInstr is a pre-resolved instruction. Branch targets are
+// instruction indices; INVOKE's a is the callee MethodID; static field
+// accesses index the flat globals array.
+type linkedInstr struct {
+	op    bytecode.Op
+	a     int32
+	width int8 // encoded width in bytes, for coverage accounting
+	// For INVOKE: callee arity.
+	nargs, nret int8
+}
+
+type linkedMethod struct {
+	id     classfile.MethodID
+	ref    classfile.Ref
+	nargs  int
+	nret   int
+	nloc   int
+	nstack int
+	code   []linkedInstr
+}
+
+// globalKey identifies a static field.
+type globalKey struct{ class, field string }
+
+// Linked is a program resolved for execution: decoded instruction arrays,
+// resolved call and field references, and interned constants.
+type Linked struct {
+	prog    *classfile.Program
+	index   *classfile.Index
+	methods []*linkedMethod
+	consts  []int64
+	strs    []string
+	globals map[globalKey]int
+	nglob   int
+	main    classfile.MethodID
+}
+
+// Link resolves a program for execution. All constant-pool references are
+// checked here; Link fails on dangling references, bad descriptors, or
+// malformed code, mirroring the JVM's resolution phase.
+func Link(p *classfile.Program) (*Linked, error) {
+	ix := p.IndexMethods()
+	ln := &Linked{
+		prog:    p,
+		index:   ix,
+		globals: make(map[globalKey]int),
+	}
+	// Allocate global slots for every declared static field.
+	for _, c := range p.Classes {
+		for _, f := range c.Fields {
+			k := globalKey{c.Name, c.Utf8(f.Name)}
+			if _, dup := ln.globals[k]; dup {
+				return nil, fmt.Errorf("vm: duplicate field %s.%s", k.class, k.field)
+			}
+			ln.globals[k] = ln.nglob
+			ln.nglob++
+		}
+	}
+
+	constIdx := make(map[int64]int32)
+	strIdx := make(map[string]int32)
+
+	for id := classfile.MethodID(0); int(id) < ix.Len(); id++ {
+		c := ix.Class(id)
+		m := ix.Method(id)
+		lm := &linkedMethod{
+			id:     id,
+			ref:    ix.Ref(id),
+			nargs:  m.NArgs,
+			nret:   m.NRet,
+			nloc:   int(m.MaxLocals),
+			nstack: int(m.MaxStack),
+		}
+		instrs, err := bytecode.Decode(m.Code)
+		if err != nil {
+			return nil, fmt.Errorf("vm: %v: %w", lm.ref, err)
+		}
+		// Map byte offsets to instruction indices for branch rewriting.
+		off2idx := make(map[int]int, len(instrs))
+		off := 0
+		offs := make([]int, len(instrs))
+		for i, in := range instrs {
+			off2idx[off] = i
+			offs[i] = off
+			off += in.Width()
+		}
+		lm.code = make([]linkedInstr, len(instrs))
+		for i, in := range instrs {
+			li := linkedInstr{op: in.Op, a: in.Arg, width: int8(in.Width())}
+			info := in.Op.Info()
+			switch {
+			case info.Branch:
+				tgt, ok := off2idx[offs[i]+int(in.Arg)]
+				if !ok {
+					return nil, fmt.Errorf("vm: %v: branch at %d to middle of instruction (%d)", lm.ref, offs[i], offs[i]+int(in.Arg))
+				}
+				li.a = int32(tgt)
+			case in.Op == bytecode.LDC:
+				e := c.Const(uint16(in.Arg))
+				switch e.Kind {
+				case classfile.KInteger, classfile.KLong:
+					li.op = xLdcInt
+					ci, ok := constIdx[e.Int]
+					if !ok {
+						ci = int32(len(ln.consts))
+						ln.consts = append(ln.consts, e.Int)
+						constIdx[e.Int] = ci
+					}
+					li.a = ci
+				case classfile.KString:
+					s := c.Utf8(e.A)
+					li.op = xLdcStr
+					si, ok := strIdx[s]
+					if !ok {
+						si = int32(len(ln.strs))
+						ln.strs = append(ln.strs, s)
+						strIdx[s] = si
+					}
+					li.a = si
+				default:
+					return nil, fmt.Errorf("vm: %v: LDC of %v constant", lm.ref, e.Kind)
+				}
+			case in.Op == bytecode.INVOKE:
+				class, name, desc := c.RefTarget(uint16(in.Arg))
+				callee := ix.ID(classfile.Ref{Class: class, Name: name})
+				if callee == classfile.NoMethod {
+					return nil, fmt.Errorf("vm: %v: call to undefined %s.%s", lm.ref, class, name)
+				}
+				na, nr, err := classfile.ParseDescriptor(desc)
+				if err != nil {
+					return nil, fmt.Errorf("vm: %v: %w", lm.ref, err)
+				}
+				cm := ix.Method(callee)
+				if cm.NArgs != na || cm.NRet != nr {
+					return nil, fmt.Errorf("vm: %v: call to %s.%s with descriptor %q, target has (%d)->%d",
+						lm.ref, class, name, desc, cm.NArgs, cm.NRet)
+				}
+				li.a = int32(callee)
+				li.nargs = int8(na)
+				li.nret = int8(nr)
+			case in.Op == bytecode.GETSTATIC || in.Op == bytecode.PUTSTATIC:
+				class, name, _ := c.RefTarget(uint16(in.Arg))
+				slot, ok := ln.globals[globalKey{class, name}]
+				if !ok {
+					return nil, fmt.Errorf("vm: %v: access to undefined field %s.%s", lm.ref, class, name)
+				}
+				li.a = int32(slot)
+			}
+			lm.code[i] = li
+		}
+		ln.methods = append(ln.methods, lm)
+	}
+
+	ln.main = ix.ID(p.Main())
+	if ln.main == classfile.NoMethod {
+		return nil, fmt.Errorf("vm: program %q has no entry point %v", p.Name, p.Main())
+	}
+	return ln, nil
+}
+
+// Index returns the method index built during linking.
+func (ln *Linked) Index() *classfile.Index { return ln.index }
+
+// Program returns the linked program.
+func (ln *Linked) Program() *classfile.Program { return ln.prog }

@@ -1,0 +1,139 @@
+package vm
+
+import (
+	"testing"
+
+	"nonstrict/internal/bytecode"
+	"nonstrict/internal/classfile"
+)
+
+// rawRun assembles a single main method and returns the machine.
+func rawRun(t *testing.T, maxStack int, setup func(b *classfile.Builder) []bytecode.Instr) *Machine {
+	t.Helper()
+	b := classfile.NewBuilder("M", "")
+	b.AddField("out")
+	instrs := setup(b)
+	b.AddMethod("main", 0, 0, 4, maxStack, nil, bytecode.Encode(instrs))
+	p := &classfile.Program{Name: "raw", Classes: []*classfile.Class{b.Build()}, MainClass: "M"}
+	ln, err := Link(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := ln.Run(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func out(t *testing.T, m *Machine) int64 {
+	t.Helper()
+	v, err := m.Global("M", "out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+// TestRawOpcodes exercises opcodes the IR compiler never emits.
+func TestRawOpcodes(t *testing.T) {
+	t.Run("ipush", func(t *testing.T) {
+		m := rawRun(t, 2, func(b *classfile.Builder) []bytecode.Instr {
+			return []bytecode.Instr{
+				{Op: bytecode.IPUSH, Arg: -123456789},
+				{Op: bytecode.PUTSTATIC, Arg: int32(b.FieldRef("M", "out"))},
+				{Op: bytecode.HALT},
+			}
+		})
+		if got := out(t, m); got != -123456789 {
+			t.Errorf("out = %d", got)
+		}
+	})
+	t.Run("nop-dup-swap-pop", func(t *testing.T) {
+		// push 3, push 9, swap, pop (drops 3), dup, add -> 18
+		m := rawRun(t, 4, func(b *classfile.Builder) []bytecode.Instr {
+			return []bytecode.Instr{
+				{Op: bytecode.NOP},
+				{Op: bytecode.BIPUSH, Arg: 3},
+				{Op: bytecode.BIPUSH, Arg: 9},
+				{Op: bytecode.SWAP},
+				{Op: bytecode.POP},
+				{Op: bytecode.DUP},
+				{Op: bytecode.IADD},
+				{Op: bytecode.PUTSTATIC, Arg: int32(b.FieldRef("M", "out"))},
+				{Op: bytecode.HALT},
+			}
+		})
+		if got := out(t, m); got != 18 {
+			t.Errorf("out = %d", got)
+		}
+	})
+	t.Run("ldc-long", func(t *testing.T) {
+		m := rawRun(t, 2, func(b *classfile.Builder) []bytecode.Instr {
+			return []bytecode.Instr{
+				{Op: bytecode.LDC, Arg: int32(b.Integer(1 << 45))},
+				{Op: bytecode.PUTSTATIC, Arg: int32(b.FieldRef("M", "out"))},
+				{Op: bytecode.HALT},
+			}
+		})
+		if got := out(t, m); got != 1<<45 {
+			t.Errorf("out = %d", got)
+		}
+	})
+	t.Run("ldc-string-materializes-fresh-arrays", func(t *testing.T) {
+		// Loading the same string constant twice yields two distinct
+		// arrays: writing through one must not affect the other.
+		m := rawRun(t, 6, func(b *classfile.Builder) []bytecode.Instr {
+			s := int32(b.String("xyz"))
+			return []bytecode.Instr{
+				{Op: bytecode.LDC, Arg: s}, // a1
+				{Op: bytecode.DUP},
+				{Op: bytecode.BIPUSH, Arg: 0},
+				{Op: bytecode.BIPUSH, Arg: 99}, // a1[0] = 99
+				{Op: bytecode.ASTORE},
+				{Op: bytecode.POP},
+				{Op: bytecode.LDC, Arg: s}, // a2 (fresh)
+				{Op: bytecode.BIPUSH, Arg: 0},
+				{Op: bytecode.ALOAD}, // a2[0] == 'x'
+				{Op: bytecode.PUTSTATIC, Arg: int32(b.FieldRef("M", "out"))},
+				{Op: bytecode.HALT},
+			}
+		})
+		if got := out(t, m); got != 'x' {
+			t.Errorf("out = %d, want %d", got, 'x')
+		}
+	})
+	t.Run("shift-masking", func(t *testing.T) {
+		// Shift counts are masked to 6 bits, as in the JVM's long shifts.
+		m := rawRun(t, 3, func(b *classfile.Builder) []bytecode.Instr {
+			return []bytecode.Instr{
+				{Op: bytecode.BIPUSH, Arg: 1},
+				{Op: bytecode.BIPUSH, Arg: 65}, // 65 & 63 == 1
+				{Op: bytecode.ISHL},
+				{Op: bytecode.PUTSTATIC, Arg: int32(b.FieldRef("M", "out"))},
+				{Op: bytecode.HALT},
+			}
+		})
+		if got := out(t, m); got != 2 {
+			t.Errorf("1 << 65 = %d, want 2 (masked shift)", got)
+		}
+	})
+}
+
+// TestMainReturnEndsRun: a main that RETURNs (instead of HALT) ends the
+// machine when its frame pops.
+func TestMainReturnEndsRun(t *testing.T) {
+	m := rawRun(t, 2, func(b *classfile.Builder) []bytecode.Instr {
+		return []bytecode.Instr{
+			{Op: bytecode.BIPUSH, Arg: 5},
+			{Op: bytecode.PUTSTATIC, Arg: int32(b.FieldRef("M", "out"))},
+			{Op: bytecode.RETURN},
+		}
+	})
+	if got := out(t, m); got != 5 {
+		t.Errorf("out = %d", got)
+	}
+	if m.Steps() != 3 {
+		t.Errorf("steps = %d, want 3", m.Steps())
+	}
+}

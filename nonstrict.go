@@ -1,0 +1,257 @@
+// Package nonstrict is a library reproduction of "Overlapping Execution
+// with Transfer Using Non-Strict Execution for Mobile Programs" (Krintz,
+// Calder, Lee, Zorn — ASPLOS 1998).
+//
+// Strict execution of mobile programs — the whole class file must arrive
+// before any method in it may run — serializes network transfer and
+// execution. This library implements the paper's alternative end to end:
+//
+//   - a Java-like class-file substrate (constant pools, method bodies,
+//     wire format with per-method delimiters) plus a bytecode VM that
+//     executes programs and profiles their first-use behaviour;
+//   - first-use prediction, both static (a loop-prioritizing DFS over the
+//     interprocedural control-flow graph, §4.1) and profile-guided
+//     (§4.2), and class-file restructuring into predicted order;
+//   - global-data partitioning into per-method GlobalMethodData (§7.3);
+//   - transfer engines: strict sequential, scheduled parallel file
+//     transfer with demand-fetch misprediction correction (§5.1), and
+//     interleaved single-virtual-file transfer (§5.2);
+//   - an incremental verifier that checks classes as global data arrives
+//     and methods as their delimiters arrive (§3.1.1);
+//   - a cycle-level simulator overlapping execution with transfer, and
+//     the six benchmark workloads of the paper's evaluation, re-authored
+//     and checked against native Go reference implementations;
+//   - generators for every table and figure in the paper's evaluation.
+//
+// # Quick start
+//
+//	bench, err := nonstrict.LoadBenchmark("Jess")
+//	if err != nil { ... }
+//	res, err := bench.Simulate(nonstrict.Variant{
+//		Order:  nonstrict.Test,
+//		Engine: nonstrict.Interleaved,
+//		Mode:   nonstrict.NonStrict,
+//		Link:   nonstrict.Modem,
+//	})
+//	fmt.Printf("total %d cycles (%.0f%% of strict)\n",
+//		res.TotalCycles, 100*float64(res.TotalCycles)/float64(bench.StrictTotal(nonstrict.Modem)))
+//
+// The cmd/nonstrict tool prints every table; see EXPERIMENTS.md for the
+// measured reproduction against the paper's numbers.
+package nonstrict
+
+import (
+	"nonstrict/internal/apps"
+	"nonstrict/internal/cfg"
+	"nonstrict/internal/classfile"
+	"nonstrict/internal/datapart"
+	"nonstrict/internal/experiments"
+	"nonstrict/internal/reorder"
+	"nonstrict/internal/restructure"
+	"nonstrict/internal/sim"
+	"nonstrict/internal/stream"
+	"nonstrict/internal/transfer"
+	"nonstrict/internal/verify"
+	"nonstrict/internal/vm"
+)
+
+// Core model types.
+type (
+	// Program is a mobile application: a set of class files and an
+	// entry point.
+	Program = classfile.Program
+	// Class is one class file.
+	Class = classfile.Class
+	// Ref names a method as Class.Name.
+	Ref = classfile.Ref
+	// MethodID is a dense program-wide method identifier.
+	MethodID = classfile.MethodID
+	// Index maps between Refs and MethodIDs.
+	Index = classfile.Index
+)
+
+// Execution and profiling.
+type (
+	// Machine is a finished VM run with its profile and trace.
+	Machine = vm.Machine
+	// Profile carries first-use order, per-method dynamic counts, and
+	// covered bytes.
+	Profile = vm.Profile
+	// Segment is one run of instructions between control transfers.
+	Segment = vm.Segment
+	// RunOptions configures Execute.
+	RunOptions = vm.Options
+)
+
+// Prediction, restructuring, partitioning.
+type (
+	// Order is a predicted first-use permutation of methods.
+	Order = reorder.Order
+	// Layouts carries per-class stream offsets of a restructured
+	// program.
+	Layouts = restructure.Layouts
+	// Partition is the per-method GlobalMethodData split.
+	Partition = datapart.Partition
+)
+
+// Transfer and simulation.
+type (
+	// Link is a fixed-bandwidth network link in cycles per byte.
+	Link = transfer.Link
+	// Engine delivers class-file bytes against a cycle clock.
+	Engine = transfer.Engine
+	// Mode selects strict, non-strict, or partitioned availability.
+	Mode = transfer.Mode
+	// Schedule is the greedy parallel-transfer plan.
+	Schedule = transfer.Schedule
+	// Result is one simulation outcome.
+	Result = sim.Result
+)
+
+// Benchmark access and the evaluation harness.
+type (
+	// App is one of the paper's six workloads.
+	App = apps.App
+	// Bench is a loaded, profiled, restructured workload ready to
+	// simulate.
+	Bench = experiments.Bench
+	// Suite caches all six loaded workloads.
+	Suite = experiments.Suite
+	// Variant selects a simulated configuration.
+	Variant = experiments.Variant
+	// OrderKind selects the first-use predictor.
+	OrderKind = experiments.OrderKind
+	// EngineKind selects the transfer methodology.
+	EngineKind = experiments.EngineKind
+)
+
+// Links from the paper: a T1 line and a 28.8K modem, expressed as cycles
+// per byte on the 500 MHz processor model.
+var (
+	T1    = transfer.T1
+	Modem = transfer.Modem
+)
+
+// Availability modes.
+const (
+	Strict      = transfer.Strict
+	NonStrict   = transfer.NonStrict
+	Partitioned = transfer.Partitioned
+)
+
+// First-use predictors.
+const (
+	SCG   = experiments.SCG
+	Train = experiments.Train
+	Test  = experiments.Test
+)
+
+// Transfer methodologies.
+const (
+	Sequential  = experiments.Sequential
+	Parallel    = experiments.Parallel
+	Interleaved = experiments.Interleaved
+)
+
+// Benchmarks returns the paper's six workloads in Table 1 order.
+func Benchmarks() []*App { return apps.All() }
+
+// Benchmark returns one workload by name (e.g. "Jess").
+func Benchmark(name string) (*App, error) { return apps.ByName(name) }
+
+// LoadBenchmark compiles, profiles, and prepares one workload for
+// simulation under all three predictors.
+func LoadBenchmark(name string) (*Bench, error) {
+	app, err := apps.ByName(name)
+	if err != nil {
+		return nil, err
+	}
+	return experiments.Load(app)
+}
+
+// Execute links and runs a program in the VM.
+func Execute(p *Program, opts RunOptions) (*Machine, error) {
+	ln, err := vm.Link(p)
+	if err != nil {
+		return nil, err
+	}
+	return ln.Run(opts)
+}
+
+// Verify checks every class of p: structural and constant-pool checks
+// plus per-method bytecode verification, as the non-strict loader would
+// perform them incrementally.
+func Verify(p *Program) error { return verify.VerifyProgram(p) }
+
+// PredictStatic computes the static call-graph first-use order (§4.1).
+func PredictStatic(p *Program) (*Order, *Index, error) {
+	ix := p.IndexMethods()
+	graphs, err := cfg.BuildAll(ix)
+	if err != nil {
+		return nil, nil, err
+	}
+	o, err := reorder.Static(ix, graphs)
+	if err != nil {
+		return nil, nil, err
+	}
+	return o, ix, nil
+}
+
+// PredictFromProfile orders methods by observed first use, falling back
+// to the static order for methods the profile never saw (§4.2).
+func PredictFromProfile(ix *Index, prof *Profile, fallback *Order) *Order {
+	return reorder.FromProfile(ix, prof.FirstUse, fallback)
+}
+
+// Restructure rewrites p's class files into the order's first-use
+// sequence and returns the copy plus its stream layouts.
+func Restructure(p *Program, ix *Index, o *Order) (*Program, *Layouts) {
+	rp := restructure.Apply(p, ix, o)
+	return rp, restructure.ComputeLayouts(rp)
+}
+
+// PartitionGlobals computes per-method GlobalMethodData for a
+// restructured program (§7.3).
+func PartitionGlobals(rp *Program) (*Partition, error) {
+	pt, err := datapart.Compute(rp)
+	if err != nil {
+		return nil, err
+	}
+	if err := pt.Check(rp); err != nil {
+		return nil, err
+	}
+	return pt, nil
+}
+
+// Simulate replays an execution trace against a transfer engine,
+// charging cpi cycles per instruction.
+func Simulate(trace []Segment, ix *Index, eng Engine, cpi int64) (Result, error) {
+	return sim.Run(trace, ix, eng, cpi)
+}
+
+// Experiments is a fresh evaluation suite; its methods generate every
+// table and figure of the paper.
+func Experiments() *Suite { return &Suite{} }
+
+// Streaming loader types: the non-strict class loader consumes an
+// interleaved unit stream, verifying classes and methods as their bytes
+// arrive (§3.1.1 + §5.2); see examples/streaming for use over HTTP.
+type (
+	// StreamWriter emits a restructured program as an interleaved
+	// virtual file.
+	StreamWriter = stream.Writer
+	// StreamLoader assembles and verifies a program from such a stream.
+	StreamLoader = stream.Loader
+	// StreamEvent is one loader progress notification.
+	StreamEvent = stream.Event
+)
+
+// NewStreamWriter plans the interleaved stream of a restructured program.
+func NewStreamWriter(rp *Program, ix *Index, o *Order) (*StreamWriter, error) {
+	return stream.NewWriter(rp, ix, o)
+}
+
+// NewStreamLoader builds a non-strict loader for the named program.
+func NewStreamLoader(name, mainClass string) *StreamLoader {
+	return stream.NewLoader(name, mainClass, nil)
+}

@@ -1,0 +1,107 @@
+package nonstrict
+
+import (
+	"testing"
+
+	"nonstrict/internal/jir"
+	"nonstrict/internal/transfer"
+)
+
+// TestPublicAPIPipeline drives every facade function end to end on a
+// small program.
+func TestPublicAPIPipeline(t *testing.T) {
+	ir := &jir.Program{
+		Name: "api",
+		Main: "A",
+		Classes: []*jir.Class{
+			{Name: "A", Fields: []string{"out"}, Funcs: []*jir.Func{
+				{Name: "main", Body: jir.Block(
+					jir.SetG("A", "out", jir.Call("B", "twice", jir.I(21))),
+					jir.Halt(),
+				)},
+				{Name: "spare", Body: jir.Block(jir.RetV()), LocalData: 300},
+			}},
+			{Name: "B", Funcs: []*jir.Func{
+				{Name: "twice", Params: []string{"x"}, NRet: 1, Body: jir.Block(
+					jir.Ret(jir.Mul(jir.L("x"), jir.I(2))),
+				)},
+			}},
+		},
+	}
+	prog, err := jir.Compile(ir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Verify(prog); err != nil {
+		t.Fatal(err)
+	}
+	m, err := Execute(prog, RunOptions{Trace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := m.Global("A", "out"); v != 42 {
+		t.Fatalf("out = %d", v)
+	}
+
+	order, ix, err := PredictStatic(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	order = PredictFromProfile(ix, m.Profile(), order)
+	rp, layouts := Restructure(prog, ix, order)
+	part, err := PartitionGlobals(rp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	files, err := transfer.BuildFiles(rp, layouts, Partitioned, part)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := transfer.NewSequential(order.ClassOrder(ix), files, T1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Simulate(m.Trace(), ix, eng, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalCycles <= 0 || res.TotalCycles != res.ExecCycles+res.StallCycles {
+		t.Fatalf("bad result %+v", res)
+	}
+}
+
+func TestBenchmarksRoster(t *testing.T) {
+	bs := Benchmarks()
+	if len(bs) != 6 {
+		t.Fatalf("benchmarks = %d", len(bs))
+	}
+	if _, err := Benchmark("Hanoi"); err != nil {
+		t.Error(err)
+	}
+	if _, err := Benchmark("nope"); err == nil {
+		t.Error("unknown benchmark accepted")
+	}
+}
+
+func TestLoadBenchmarkAndSimulate(t *testing.T) {
+	b, err := LoadBenchmark("Hanoi")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := b.Simulate(Variant{Order: Test, Engine: Interleaved, Mode: NonStrict, Link: Modem})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalCycles > b.StrictTotal(Modem) {
+		t.Errorf("non-strict total %d exceeds strict %d", res.TotalCycles, b.StrictTotal(Modem))
+	}
+	if _, err := LoadBenchmark("nope"); err == nil {
+		t.Error("unknown benchmark loaded")
+	}
+}
+
+func TestLinkConstants(t *testing.T) {
+	if T1.CyclesPerByte != 3815 || Modem.CyclesPerByte != 134698 {
+		t.Errorf("link constants drifted: %+v %+v", T1, Modem)
+	}
+}
