@@ -1,0 +1,31 @@
+# Mirrors .github/workflows/ci.yml — `make ci` runs what CI runs.
+
+GO ?= go
+
+.PHONY: all build test race lint bench-smoke ci clean
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+lint:
+	$(GO) vet ./...
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:" >&2; echo "$$out" >&2; exit 1; fi
+
+# The CI gate: the concurrent runner must reproduce the paper tables
+# byte-identically to the serial path.
+bench-smoke:
+	$(GO) test -run TestPaperTables -short -v ./internal/experiments
+
+ci: build lint test race bench-smoke
+
+clean:
+	$(GO) clean ./...

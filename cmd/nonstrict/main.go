@@ -9,6 +9,7 @@
 //	nonstrict stats                print Tables 1-3 (program statistics)
 //	nonstrict latency              print Table 4 (invocation latency)
 //	nonstrict tables [-t N]        print evaluation tables (default: all)
+//	                               (-par N workers, -stats for counters)
 //	nonstrict figure6              print the summary figure
 //	nonstrict ablate               print the ablation studies
 //	nonstrict sim <name> [flags]   simulate one configuration
@@ -17,12 +18,15 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"nonstrict"
 	"nonstrict/internal/experiments"
@@ -38,7 +42,8 @@ commands:
   run <name> [-train]  execute one benchmark in the VM and report stats
   stats                print Tables 1-3 (program and base-case statistics)
   latency              print Table 4 (invocation latency)
-  tables [-t N]        print evaluation tables 5-10 (default: all)
+  tables [-t N]        print evaluation tables 5-10 (default: all);
+                       -par N sets the worker count, -stats adds counters
   figure6              print the Figure 6 summary chart
   ablate               print the ablation studies (heuristics, bandwidth,
                        block-level delimiters)
@@ -53,7 +58,9 @@ func main() {
 	if len(os.Args) < 2 {
 		usage()
 	}
-	if err := dispatch(os.Args[1], os.Args[2:], os.Stdout); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := dispatch(ctx, os.Args[1], os.Args[2:], os.Stdout); err != nil {
 		if err == errUsage {
 			usage()
 		}
@@ -66,7 +73,9 @@ func main() {
 var errUsage = errors.New("usage")
 
 // dispatch routes one subcommand; out receives all normal output.
-func dispatch(cmd string, args []string, out io.Writer) error {
+// Interrupting the process cancels ctx, which aborts in-flight table
+// generation, transfers, and the demo server.
+func dispatch(ctx context.Context, cmd string, args []string, out io.Writer) error {
 	switch cmd {
 	case "list":
 		return cmdList(out)
@@ -77,9 +86,9 @@ func dispatch(cmd string, args []string, out io.Writer) error {
 	case "latency":
 		return cmdLatency(out)
 	case "tables":
-		return cmdTables(args, out)
+		return cmdTables(ctx, args, out)
 	case "figure6":
-		return cmdFigure6(out)
+		return cmdFigure6(ctx, args, out)
 	case "ablate":
 		return cmdAblate(out)
 	case "jit":
@@ -87,9 +96,9 @@ func dispatch(cmd string, args []string, out io.Writer) error {
 	case "sim":
 		return cmdSim(args, out)
 	case "serve":
-		return cmdServe(args, out)
+		return cmdServe(ctx, args, out)
 	case "fetch":
-		return cmdFetch(args, out)
+		return cmdFetch(ctx, args, out)
 	default:
 		return errUsage
 	}
@@ -162,9 +171,11 @@ func cmdLatency(out io.Writer) error {
 	return nil
 }
 
-func cmdTables(args []string, out io.Writer) error {
+func cmdTables(ctx context.Context, args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("tables", flag.ContinueOnError)
 	which := fs.String("t", "", "comma-separated table numbers (1-10; default all)")
+	par := fs.Int("par", 0, "simulation workers (0 = one per CPU, 1 = serial)")
+	stats := fs.Bool("stats", false, "print simulation counters after the tables")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -176,6 +187,7 @@ func cmdTables(args []string, out io.Writer) error {
 	}
 	all := len(want) == 0
 	s := nonstrict.Experiments()
+	s.SetWorkers(*par)
 
 	type gen struct {
 		id  string
@@ -187,17 +199,17 @@ func cmdTables(args []string, out io.Writer) error {
 		{"3", func() (string, error) { r, err := s.Table3(); return experiments.RenderTable3(r), err }},
 		{"4", func() (string, error) { r, err := s.Table4(); return experiments.RenderTable4(r), err }},
 		{"5", func() (string, error) {
-			r, err := s.TableParallel(transfer.T1)
+			r, err := s.TableParallelCtx(ctx, transfer.T1)
 			return experiments.RenderParallel("Table 5: Normalized Execution Time, Parallel File Transfer, T1 (%)", r), err
 		}},
 		{"6", func() (string, error) {
-			r, err := s.TableParallel(transfer.Modem)
+			r, err := s.TableParallelCtx(ctx, transfer.Modem)
 			return experiments.RenderParallel("Table 6: Normalized Execution Time, Parallel File Transfer, Modem (%)", r), err
 		}},
-		{"7", func() (string, error) { r, err := s.Table7(); return experiments.RenderTable7(r), err }},
+		{"7", func() (string, error) { r, err := s.Table7Ctx(ctx); return experiments.RenderTable7(r), err }},
 		{"8", func() (string, error) { r, err := s.Table8(); return experiments.RenderTable8(r), err }},
 		{"9", func() (string, error) { r, err := s.Table9(); return experiments.RenderTable9(r), err }},
-		{"10", func() (string, error) { r, err := s.Table10(); return experiments.RenderTable10(r), err }},
+		{"10", func() (string, error) { r, err := s.Table10Ctx(ctx); return experiments.RenderTable10(r), err }},
 	}
 	for _, g := range gens {
 		if !all && !want[g.id] {
@@ -209,16 +221,36 @@ func cmdTables(args []string, out io.Writer) error {
 		}
 		fmt.Fprintln(out, text)
 	}
+	if *stats {
+		printRunnerStats(out, s.RunnerStats())
+	}
 	return nil
 }
 
-func cmdFigure6(out io.Writer) error {
+// printRunnerStats reports the counters accumulated by the concurrent
+// simulation runner.
+func printRunnerStats(out io.Writer, st experiments.RunnerStats) {
+	fmt.Fprintf(out, "runner: %d cells simulated; %d demand fetches, %d stalls (%d stall cycles), %d mispredicts\n",
+		st.Cells, st.Demands, st.Stalls, st.StallCycles, st.Mispredicts)
+}
+
+func cmdFigure6(ctx context.Context, args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("figure6", flag.ContinueOnError)
+	par := fs.Int("par", 0, "simulation workers (0 = one per CPU, 1 = serial)")
+	stats := fs.Bool("stats", false, "print simulation counters after the figure")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 	s := nonstrict.Experiments()
-	f, err := s.Figure6()
+	s.SetWorkers(*par)
+	f, err := s.Figure6Ctx(ctx)
 	if err != nil {
 		return err
 	}
 	fmt.Fprintln(out, experiments.RenderFigure6(f))
+	if *stats {
+		printRunnerStats(out, s.RunnerStats())
+	}
 	return nil
 }
 

@@ -1,19 +1,29 @@
 package main
 
 import (
+	"context"
 	"net"
 	"strings"
 	"testing"
+
+	"nonstrict/internal/stream"
 )
 
 // capture runs one subcommand and returns its output.
 func capture(t *testing.T, cmd string, args ...string) string {
 	t.Helper()
 	var b strings.Builder
-	if err := dispatch(cmd, args, &b); err != nil {
+	if err := dispatch(context.Background(), cmd, args, &b); err != nil {
 		t.Fatalf("%s %v: %v", cmd, args, err)
 	}
 	return b.String()
+}
+
+// captureErr runs one subcommand expecting failure.
+func captureErr(t *testing.T, cmd string, args ...string) error {
+	t.Helper()
+	var b strings.Builder
+	return dispatch(context.Background(), cmd, args, &b)
 }
 
 func TestList(t *testing.T) {
@@ -34,8 +44,7 @@ func TestRun(t *testing.T) {
 	if !strings.Contains(out, "dynamic instructions") {
 		t.Errorf("train run output wrong:\n%s", out)
 	}
-	var b strings.Builder
-	if err := dispatch("run", []string{"Nope"}, &b); err == nil {
+	if err := captureErr(t, "run", "Nope"); err == nil {
 		t.Error("run of unknown benchmark succeeded")
 	}
 }
@@ -63,6 +72,25 @@ func TestTablesSelection(t *testing.T) {
 	}
 }
 
+// TestTablesParallelStats: the -par / -stats flags run the simulated
+// tables through the worker pool and report its counters.
+func TestTablesParallelStats(t *testing.T) {
+	out := capture(t, "tables", "-t", "5", "-par", "2", "-stats")
+	if !strings.Contains(out, "Table 5") {
+		t.Errorf("table missing:\n%s", out)
+	}
+	if !strings.Contains(out, "runner:") || !strings.Contains(out, "demand fetches") {
+		t.Errorf("runner stats missing:\n%s", out)
+	}
+	// A canceled context aborts simulated tables with an error.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var b strings.Builder
+	if err := dispatch(ctx, "tables", []string{"-t", "5"}, &b); err == nil {
+		t.Error("canceled tables run succeeded")
+	}
+}
+
 func TestSim(t *testing.T) {
 	out := capture(t, "sim", "Hanoi", "-order", "test", "-engine", "interleaved", "-link", "t1", "-mode", "partitioned")
 	for _, want := range []string{"invocation latency", "normalized", "strict baseline"} {
@@ -79,22 +107,20 @@ func TestSim(t *testing.T) {
 		{"-order", "test"}, // flag before name
 		{},
 	} {
-		var b strings.Builder
-		if err := dispatch("sim", bad, &b); err == nil {
+		if err := captureErr(t, "sim", bad...); err == nil {
 			t.Errorf("sim %v succeeded", bad)
 		}
 	}
 }
 
 func TestUnknownCommand(t *testing.T) {
-	var b strings.Builder
-	if err := dispatch("frobnicate", nil, &b); err != errUsage {
+	if err := captureErr(t, "frobnicate"); err != errUsage {
 		t.Errorf("err = %v, want errUsage", err)
 	}
 }
 
 func TestServeAndFetch(t *testing.T) {
-	srv, size, err := newServer("Hanoi", 0)
+	srv, size, err := newServer("Hanoi", 0, stream.Fault{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -112,20 +138,47 @@ func TestServeAndFetch(t *testing.T) {
 	if !strings.Contains(out, "self-check: ok") {
 		t.Errorf("fetch output:\n%s", out)
 	}
+	if !strings.Contains(out, "transfer:") || !strings.Contains(out, "requests") {
+		t.Errorf("fetch output missing transfer stats:\n%s", out)
+	}
 	out = capture(t, "fetch", "http://"+ln.Addr().String()+"/app", "-name", "Hanoi", "-train")
 	if !strings.Contains(out, "self-check: ok") {
 		t.Errorf("train fetch output:\n%s", out)
 	}
 
 	// Error paths.
-	var b strings.Builder
-	if err := dispatch("fetch", []string{"http://" + ln.Addr().String() + "/app"}, &b); err == nil {
+	if err := captureErr(t, "fetch", "http://"+ln.Addr().String()+"/app"); err == nil {
 		t.Error("fetch without -name succeeded")
 	}
-	if err := dispatch("fetch", []string{"http://" + ln.Addr().String() + "/nope", "-name", "Hanoi"}, &b); err == nil {
+	if err := captureErr(t, "fetch", "http://"+ln.Addr().String()+"/nope", "-name", "Hanoi"); err == nil {
 		t.Error("fetch of missing path succeeded")
 	}
-	if err := dispatch("serve", []string{"-addr", "x"}, &b); err == nil {
+	if err := captureErr(t, "serve", "-addr", "x"); err == nil {
 		t.Error("serve without name succeeded")
+	}
+}
+
+// TestServeAndFetchWithFaults: the full CLI round trip over a server
+// that drops the connection every 600 body bytes. The fetch client must
+// resume transparently and the loaded program must still pass its
+// self-check.
+func TestServeAndFetchWithFaults(t *testing.T) {
+	srv, size, err := newServer("Hanoi", 0, stream.Fault{DropEvery: 600})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(ln)
+	defer srv.Close()
+
+	out := capture(t, "fetch", "http://"+ln.Addr().String()+"/app", "-name", "Hanoi")
+	if !strings.Contains(out, "self-check: ok") {
+		t.Errorf("faulty fetch output:\n%s", out)
+	}
+	if size > 600 && strings.Contains(out, " 0 resumes)") {
+		t.Errorf("transfer reported no resumes over a dropping link:\n%s", out)
 	}
 }

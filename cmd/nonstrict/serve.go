@@ -1,6 +1,8 @@
 package main
 
 import (
+	"bytes"
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -16,13 +18,17 @@ import (
 
 // cmdServe publishes a benchmark as an interleaved virtual file over
 // HTTP, restructured into static first-use order — a minimal non-strict
-// code server.
-func cmdServe(args []string, out io.Writer) error {
+// code server. The stream is served with Range support so a resuming
+// client can continue after a dropped connection, and the -drop-every /
+// -latency flags inject transport faults for demonstrating exactly that.
+func cmdServe(ctx context.Context, args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
 	addr := fs.String("addr", "127.0.0.1:0", "listen address")
 	rate := fs.Int("rate", 0, "throttle to N bytes/second (0 = unthrottled)")
+	dropEvery := fs.Int64("drop-every", 0, "drop the connection after every N body bytes (0 = never)")
+	latency := fs.Duration("latency", 0, "added latency before each body write")
 	if len(args) == 0 || strings.HasPrefix(args[0], "-") {
-		return fmt.Errorf("serve: usage: nonstrict serve <name> [-addr host:port] [-rate N]")
+		return fmt.Errorf("serve: usage: nonstrict serve <name> [-addr host:port] [-rate N] [-drop-every N] [-latency D]")
 	}
 	name := args[0]
 	if err := fs.Parse(args[1:]); err != nil {
@@ -32,16 +38,32 @@ func cmdServe(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
-	srv, size, err := newServer(name, *rate)
+	fault := stream.Fault{DropEvery: *dropEvery, Latency: *latency}
+	srv, size, err := newServer(name, *rate, fault)
 	if err != nil {
 		return err
 	}
 	fmt.Fprintf(out, "serving %s (%d stream bytes) at http://%s/app\n", name, size, ln.Addr())
-	return srv.Serve(ln)
+	if fault.Enabled() {
+		fmt.Fprintf(out, "fault injection: drop-every=%d latency=%v\n", fault.DropEvery, fault.Latency)
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+		sctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		srv.Shutdown(sctx)
+		return ctx.Err()
+	}
 }
 
-// newServer builds the HTTP server for one benchmark.
-func newServer(name string, rate int) (*http.Server, int64, error) {
+// newServer builds the HTTP server for one benchmark. The interleaved
+// stream is serialized once and served via http.ServeContent, which
+// gives resuming clients byte-range (206) support for free.
+func newServer(name string, rate int, fault stream.Fault) (*http.Server, int64, error) {
 	app, err := nonstrict.Benchmark(name)
 	if err != nil {
 		return nil, 0, err
@@ -59,57 +81,66 @@ func newServer(name string, rate int) (*http.Server, int64, error) {
 	if err != nil {
 		return nil, 0, err
 	}
+	var buf bytes.Buffer
+	if _, err := w.WriteTo(&buf); err != nil {
+		return nil, 0, err
+	}
+	data := buf.Bytes()
 	mux := http.NewServeMux()
 	mux.HandleFunc("/app", func(rw http.ResponseWriter, req *http.Request) {
-		var dst io.Writer = rw
 		if rate > 0 {
-			fl, _ := rw.(http.Flusher)
-			dst = &pacedWriter{w: rw, fl: fl, rate: rate}
+			rw = &pacedWriter{rw: rw, rate: rate}
 		}
-		if _, err := w.WriteTo(dst); err != nil {
-			return
-		}
+		http.ServeContent(rw, req, "app.bin", time.Time{}, bytes.NewReader(data))
 	})
-	return &http.Server{Handler: mux}, w.Size(), nil
+	return &http.Server{Handler: fault.Wrap(mux)}, w.Size(), nil
 }
 
-// pacedWriter throttles and flushes chunks.
+// pacedWriter throttles the response body to simulate a slow link,
+// flushing each chunk so the client sees steady progress.
 type pacedWriter struct {
-	w    io.Writer
-	fl   http.Flusher
+	rw   http.ResponseWriter
 	rate int
 }
 
+func (p *pacedWriter) Header() http.Header { return p.rw.Header() }
+
+func (p *pacedWriter) WriteHeader(code int) { p.rw.WriteHeader(code) }
+
 func (p *pacedWriter) Write(b []byte) (int, error) {
 	const chunk = 512
+	fl, _ := p.rw.(http.Flusher)
 	written := 0
 	for off := 0; off < len(b); off += chunk {
 		end := off + chunk
 		if end > len(b) {
 			end = len(b)
 		}
-		n, err := p.w.Write(b[off:end])
+		n, err := p.rw.Write(b[off:end])
 		written += n
 		if err != nil {
 			return written, err
 		}
-		if p.fl != nil {
-			p.fl.Flush()
+		if fl != nil {
+			fl.Flush()
 		}
 		time.Sleep(time.Duration(n) * time.Second / time.Duration(p.rate))
 	}
 	return written, nil
 }
 
-// cmdFetch downloads a served benchmark, loads it non-strictly with
-// incremental verification, executes it, and runs the workload
-// self-check.
-func cmdFetch(args []string, out io.Writer) error {
+// cmdFetch downloads a served benchmark through the fault-tolerant
+// fetch client, loads it non-strictly with incremental verification,
+// executes it, and runs the workload self-check.
+func cmdFetch(ctx context.Context, args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("fetch", flag.ContinueOnError)
 	name := fs.String("name", "", "benchmark name (for input args and self-check)")
 	train := fs.Bool("train", false, "run the train input instead of test")
+	timeout := fs.Duration("timeout", 10*time.Second, "per-request idle timeout")
+	retries := fs.Int("retries", 8, "consecutive zero-progress attempts before giving up")
+	backoff := fs.Duration("backoff", 100*time.Millisecond, "base retry backoff (doubles per failure, capped)")
 	if len(args) == 0 || strings.HasPrefix(args[0], "-") {
-		return fmt.Errorf("fetch: usage: nonstrict fetch <url> -name <benchmark> [-train]")
+		return fmt.Errorf("fetch: usage: nonstrict fetch <url> -name <benchmark> [-train] [-timeout D] [-retries N] [-backoff D]")
 	}
 	url := args[0]
 	if err := fs.Parse(args[1:]); err != nil {
@@ -123,20 +154,22 @@ func cmdFetch(args []string, out io.Writer) error {
 		return err
 	}
 
-	resp, err := http.Get(url)
+	client := &nonstrict.FetchClient{
+		RequestTimeout: *timeout,
+		MaxRetries:     *retries,
+		BackoffBase:    *backoff,
+	}
+	body, err := client.Open(ctx, url)
 	if err != nil {
 		return err
 	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return fmt.Errorf("fetch: server returned %s", resp.Status)
-	}
+	defer body.Close()
 
 	start := time.Now()
 	var mainReadyAt time.Duration
 	var ready int
 	loader := nonstrict.NewStreamLoader(*name, app.IR.Main)
-	if err := loader.Load(resp.Body, func(e nonstrict.StreamEvent) {
+	if err := loader.Load(body, func(e nonstrict.StreamEvent) {
 		if e.Kind == stream.MethodReady {
 			ready++
 			if ready == 1 {
@@ -161,6 +194,9 @@ func cmdFetch(args []string, out io.Writer) error {
 	}
 	fmt.Fprintf(out, "fetched %d bytes in %v; first method runnable after %v\n",
 		loader.Consumed(), total.Round(time.Millisecond), mainReadyAt.Round(time.Millisecond))
+	st := client.Stats()
+	fmt.Fprintf(out, "transfer: %d bytes in %d requests (%d retries, %d resumes)\n",
+		st.BytesTransferred, st.Requests, st.Retries, st.Resumes)
 	fmt.Fprintf(out, "executed %d instructions; self-check: ok\n", m.Steps())
 	return nil
 }

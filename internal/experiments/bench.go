@@ -11,6 +11,8 @@
 package experiments
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sync"
 
@@ -95,6 +97,16 @@ type Bench struct {
 // Load compiles, links, profiles (both inputs), and prepares all three
 // predictor orders for one benchmark.
 func Load(app *apps.App) (*Bench, error) {
+	return LoadCtx(context.Background(), app)
+}
+
+// LoadCtx is Load with cancellation: the pipeline checks ctx between its
+// stages (compile, profile runs, per-order preparation) and abandons the
+// load once ctx is done.
+func LoadCtx(ctx context.Context, app *apps.App) (*Bench, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	prog, err := jir.Compile(app.IR)
 	if err != nil {
 		return nil, fmt.Errorf("experiments: %s: %w", app.Name, err)
@@ -105,12 +117,18 @@ func Load(app *apps.App) (*Bench, error) {
 	}
 	ix := ln.Index()
 
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	testM, err := ln.Run(vm.Options{Args: app.Args(false), Trace: true})
 	if err != nil {
 		return nil, fmt.Errorf("experiments: %s test run: %w", app.Name, err)
 	}
 	if err := app.Check(testM, false); err != nil {
 		return nil, fmt.Errorf("experiments: %s test self-check: %w", app.Name, err)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	trainM, err := ln.Run(vm.Options{Args: app.Args(true)})
 	if err != nil {
@@ -144,6 +162,9 @@ func Load(app *apps.App) (*Bench, error) {
 		byOrder:      make(map[OrderKind]*prepared, 3),
 	}
 	for kind, ord := range map[OrderKind]*reorder.Order{SCG: scg, Train: trainOrd, Test: testOrd} {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		if err := ord.Validate(ix); err != nil {
 			return nil, fmt.Errorf("experiments: %s %v order: %w", app.Name, kind, err)
 		}
@@ -205,11 +226,18 @@ func (b *Bench) TransferCycles(link transfer.Link) int64 {
 
 // Simulate runs one configuration against the test trace.
 func (b *Bench) Simulate(v Variant) (sim.Result, error) {
+	return b.SimulateCtx(context.Background(), v)
+}
+
+// SimulateCtx is Simulate with cancellation. A Bench is safe for
+// concurrent SimulateCtx calls: every call builds its own engine and the
+// prepared artifacts are read-only after Load.
+func (b *Bench) SimulateCtx(ctx context.Context, v Variant) (sim.Result, error) {
 	p, ok := b.byOrder[v.Order]
 	if !ok {
 		return sim.Result{}, fmt.Errorf("experiments: unknown order %v", v.Order)
 	}
-	return b.simulate(p, b.covered(v.Order), v)
+	return b.simulate(ctx, p, b.covered(v.Order), v)
 }
 
 // prepareOrder builds the restructured artifacts for an arbitrary
@@ -237,10 +265,10 @@ func (b *Bench) SimulateOrder(ord *reorder.Order, covered []int, v Variant) (sim
 	if err != nil {
 		return sim.Result{}, err
 	}
-	return b.simulate(p, covered, v)
+	return b.simulate(context.Background(), p, covered, v)
 }
 
-func (b *Bench) simulate(p *prepared, covered []int, v Variant) (sim.Result, error) {
+func (b *Bench) simulate(ctx context.Context, p *prepared, covered []int, v Variant) (sim.Result, error) {
 	var part *datapart.Partition
 	if v.Mode == transfer.Partitioned {
 		part = p.part
@@ -267,7 +295,7 @@ func (b *Bench) simulate(p *prepared, covered []int, v Variant) (sim.Result, err
 	if err != nil {
 		return sim.Result{}, err
 	}
-	return sim.Run(b.TestTrace, b.Ix, eng, b.App.CPI)
+	return sim.RunContext(ctx, b.TestTrace, b.Ix, eng, b.App.CPI)
 }
 
 // Normalized returns the percent-of-strict execution time for one
@@ -280,26 +308,59 @@ func (b *Bench) Normalized(v Variant) (float64, error) {
 	return 100 * float64(res.TotalCycles) / float64(b.StrictTotal(v.Link)), nil
 }
 
-// Suite loads every benchmark once and caches it.
+// Suite loads every benchmark once and caches it. The zero value is
+// ready to use; loads and grid evaluations fan out across the embedded
+// runner's worker pool (GOMAXPROCS workers by default).
 type Suite struct {
-	once    sync.Once
+	mu      sync.Mutex
+	loaded  bool
 	benches []*Bench
 	err     error
+	runner  Runner
 }
+
+// SetWorkers caps the evaluation pool: 0 means GOMAXPROCS, 1 forces the
+// serial path. Call before the first table generation.
+func (s *Suite) SetWorkers(n int) { s.runner.Workers = n }
+
+// RunnerStats snapshots the counters accumulated across every simulation
+// the suite has run.
+func (s *Suite) RunnerStats() RunnerStats { return s.runner.Stats() }
 
 // Benches returns all six workloads, loading them on first use.
 func (s *Suite) Benches() ([]*Bench, error) {
-	s.once.Do(func() {
-		for _, app := range apps.All() {
-			b, err := Load(app)
-			if err != nil {
-				s.err = err
-				return
-			}
-			s.benches = append(s.benches, b)
+	return s.BenchesCtx(context.Background())
+}
+
+// BenchesCtx loads the workloads in parallel across the suite's worker
+// pool, collecting them in Table 1 order. A canceled load does not latch:
+// a later call with a live ctx retries.
+func (s *Suite) BenchesCtx(ctx context.Context) ([]*Bench, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.loaded {
+		return s.benches, s.err
+	}
+	all := apps.All()
+	out := make([]*Bench, len(all))
+	err := s.runner.ForEach(ctx, len(all), func(ctx context.Context, i int) error {
+		b, err := LoadCtx(ctx, all[i])
+		if err != nil {
+			return err
 		}
+		out[i] = b
+		return nil
 	})
-	return s.benches, s.err
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return nil, err
+	}
+	s.loaded = true
+	if err != nil {
+		s.err = err
+		return nil, err
+	}
+	s.benches = out
+	return s.benches, nil
 }
 
 // Bench returns one workload by name.

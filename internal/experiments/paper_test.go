@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"strings"
 	"sync"
 	"testing"
@@ -210,7 +211,7 @@ func TestDataPartitioningHelps(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	parted, err := s.interleaved(transfer.Partitioned)
+	parted, err := s.interleaved(context.Background(), transfer.Partitioned)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,152 @@
+package experiments
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"nonstrict/internal/sim"
+)
+
+// Runner fans simulation work out across a bounded worker pool with
+// deterministic result collection: every cell of a grid writes only its
+// own result slot, so the assembled tables are byte-identical to a
+// serial evaluation regardless of worker count or scheduling. The zero
+// value is ready to use and sizes the pool to GOMAXPROCS.
+type Runner struct {
+	// Workers caps the pool; 0 means GOMAXPROCS, 1 forces the serial
+	// path (no goroutines are spawned).
+	Workers int
+
+	cells       atomic.Int64
+	demands     atomic.Int64
+	stalls      atomic.Int64
+	stallCycles atomic.Int64
+	mispredicts atomic.Int64
+}
+
+// RunnerStats is a snapshot of the counters accumulated across every
+// simulation the runner has executed.
+type RunnerStats struct {
+	// Cells is the number of benchmark × variant simulations completed.
+	Cells int64
+	// Demands counts transfer-engine queries (method first-uses).
+	Demands int64
+	// Stalls counts first-uses that had to wait for bytes.
+	Stalls int64
+	// StallCycles is the total cycles spent waiting across all cells.
+	StallCycles int64
+	// Mispredicts counts demand-fetch corrections across all cells.
+	Mispredicts int64
+}
+
+// Stats returns a snapshot of the accumulated counters.
+func (r *Runner) Stats() RunnerStats {
+	return RunnerStats{
+		Cells:       r.cells.Load(),
+		Demands:     r.demands.Load(),
+		Stalls:      r.stalls.Load(),
+		StallCycles: r.stallCycles.Load(),
+		Mispredicts: r.mispredicts.Load(),
+	}
+}
+
+// record accumulates one simulation's counters.
+func (r *Runner) record(res sim.Result) {
+	r.cells.Add(1)
+	r.demands.Add(int64(res.Demands))
+	r.stalls.Add(int64(res.StallEvents))
+	r.stallCycles.Add(res.StallCycles)
+	r.mispredicts.Add(int64(res.Mispredicts))
+}
+
+func (r *Runner) workers() int {
+	if r.Workers > 0 {
+		return r.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// ForEach runs fn(ctx, i) for every i in [0, n) across the pool. The
+// first failure (by lowest index, for reproducibility) cancels the
+// remaining work and is returned; a done ctx is returned as its error.
+// fn must confine writes to per-index state for results to be
+// deterministic.
+func (r *Runner) ForEach(ctx context.Context, n int, fn func(ctx context.Context, i int) error) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	w := r.workers()
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			if err := fn(ctx, i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	wctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	errs := make([]error, n)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for k := 0; k < w; k++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n || wctx.Err() != nil {
+					return
+				}
+				if err := fn(wctx, i); err != nil {
+					errs[i] = err
+					cancel()
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return ctx.Err()
+}
+
+// Cell is one point of the evaluation grid: a benchmark simulated under
+// one configuration.
+type Cell struct {
+	Bench *Bench
+	V     Variant
+}
+
+// EvalGrid simulates every cell and returns the normalized
+// percent-of-strict execution times in cell order. Cells are evaluated
+// concurrently; the output is identical to evaluating them serially.
+func (r *Runner) EvalGrid(ctx context.Context, cells []Cell) ([]float64, error) {
+	out := make([]float64, len(cells))
+	err := r.ForEach(ctx, len(cells), func(ctx context.Context, i int) error {
+		c := cells[i]
+		res, err := c.Bench.SimulateCtx(ctx, c.V)
+		if err != nil {
+			return err
+		}
+		r.record(res)
+		out[i] = 100 * float64(res.TotalCycles) / float64(c.Bench.StrictTotal(c.V.Link))
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+
 	"nonstrict/internal/classfile"
 	"nonstrict/internal/transfer"
 )
@@ -158,23 +160,39 @@ type ParallelRow struct {
 // TableParallel reproduces Table 5 (T1) or Table 6 (modem), selected by
 // link, plus the AVG row the paper prints.
 func (s *Suite) TableParallel(link transfer.Link) ([]ParallelRow, error) {
-	bs, err := s.Benches()
+	return s.TableParallelCtx(context.Background(), link)
+}
+
+// TableParallelCtx is TableParallel with cancellation; the benchmark ×
+// order × limit grid fans out across the suite's worker pool.
+func (s *Suite) TableParallelCtx(ctx context.Context, link transfer.Link) ([]ParallelRow, error) {
+	bs, err := s.BenchesCtx(ctx)
+	if err != nil {
+		return nil, err
+	}
+	var cells []Cell
+	for _, b := range bs {
+		for _, ord := range Orders {
+			for _, limit := range ParallelLimits {
+				cells = append(cells, Cell{Bench: b, V: Variant{
+					Order: ord, Engine: Parallel, Mode: transfer.NonStrict,
+					Limit: limit, Link: link,
+				}})
+			}
+		}
+	}
+	vals, err := s.runner.EvalGrid(ctx, cells)
 	if err != nil {
 		return nil, err
 	}
 	var rows []ParallelRow
+	k := 0
 	for _, b := range bs {
 		r := ParallelRow{Name: b.App.Name}
-		for oi, ord := range Orders {
-			for li, limit := range ParallelLimits {
-				pct, err := b.Normalized(Variant{
-					Order: ord, Engine: Parallel, Mode: transfer.NonStrict,
-					Limit: limit, Link: link,
-				})
-				if err != nil {
-					return nil, err
-				}
-				r.Pct[oi][li] = pct
+		for oi := range Orders {
+			for li := range ParallelLimits {
+				r.Pct[oi][li] = vals[k]
+				k++
 			}
 		}
 		rows = append(rows, r)
@@ -205,26 +223,41 @@ type InterleavedRow struct {
 
 // Table7 reproduces the interleaved-transfer results for both links.
 func (s *Suite) Table7() ([]InterleavedRow, error) {
-	return s.interleaved(transfer.NonStrict)
+	return s.Table7Ctx(context.Background())
 }
 
-func (s *Suite) interleaved(mode transfer.Mode) ([]InterleavedRow, error) {
-	bs, err := s.Benches()
+// Table7Ctx is Table7 with cancellation.
+func (s *Suite) Table7Ctx(ctx context.Context) ([]InterleavedRow, error) {
+	return s.interleaved(ctx, transfer.NonStrict)
+}
+
+func (s *Suite) interleaved(ctx context.Context, mode transfer.Mode) ([]InterleavedRow, error) {
+	bs, err := s.BenchesCtx(ctx)
+	if err != nil {
+		return nil, err
+	}
+	var cells []Cell
+	for _, b := range bs {
+		for _, link := range Links {
+			for _, ord := range Orders {
+				cells = append(cells, Cell{Bench: b, V: Variant{
+					Order: ord, Engine: Interleaved, Mode: mode, Link: link,
+				}})
+			}
+		}
+	}
+	vals, err := s.runner.EvalGrid(ctx, cells)
 	if err != nil {
 		return nil, err
 	}
 	var rows []InterleavedRow
+	k := 0
 	for _, b := range bs {
 		r := InterleavedRow{Name: b.App.Name}
-		for li, link := range Links {
-			for oi, ord := range Orders {
-				pct, err := b.Normalized(Variant{
-					Order: ord, Engine: Interleaved, Mode: mode, Link: link,
-				})
-				if err != nil {
-					return nil, err
-				}
-				r.Pct[li][oi] = pct
+		for li := range Links {
+			for oi := range Orders {
+				r.Pct[li][oi] = vals[k]
+				k++
 			}
 		}
 		rows = append(rows, r)
@@ -344,30 +377,43 @@ type Table10Row struct {
 
 // Table10 reproduces the partitioned-global-data results.
 func (s *Suite) Table10() ([]Table10Row, error) {
-	bs, err := s.Benches()
+	return s.Table10Ctx(context.Background())
+}
+
+// Table10Ctx is Table10 with cancellation.
+func (s *Suite) Table10Ctx(ctx context.Context) ([]Table10Row, error) {
+	bs, err := s.BenchesCtx(ctx)
+	if err != nil {
+		return nil, err
+	}
+	var cells []Cell
+	for _, b := range bs {
+		for _, link := range Links {
+			for _, ord := range Orders {
+				cells = append(cells,
+					Cell{Bench: b, V: Variant{
+						Order: ord, Engine: Parallel, Mode: transfer.Partitioned,
+						Limit: 4, Link: link,
+					}},
+					Cell{Bench: b, V: Variant{
+						Order: ord, Engine: Interleaved, Mode: transfer.Partitioned, Link: link,
+					}})
+			}
+		}
+	}
+	vals, err := s.runner.EvalGrid(ctx, cells)
 	if err != nil {
 		return nil, err
 	}
 	var rows []Table10Row
+	k := 0
 	for _, b := range bs {
 		r := Table10Row{Name: b.App.Name}
-		for li, link := range Links {
-			for oi, ord := range Orders {
-				p, err := b.Normalized(Variant{
-					Order: ord, Engine: Parallel, Mode: transfer.Partitioned,
-					Limit: 4, Link: link,
-				})
-				if err != nil {
-					return nil, err
-				}
-				r.Parallel[li][oi] = p
-				iv, err := b.Normalized(Variant{
-					Order: ord, Engine: Interleaved, Mode: transfer.Partitioned, Link: link,
-				})
-				if err != nil {
-					return nil, err
-				}
-				r.Interleaved[li][oi] = iv
+		for li := range Links {
+			for oi := range Orders {
+				r.Parallel[li][oi] = vals[k]
+				r.Interleaved[li][oi] = vals[k+1]
+				k += 2
 			}
 		}
 		rows = append(rows, r)
@@ -404,27 +450,44 @@ var Figure6Techniques = []string{"Parallel File Transfer", "PFT Data Partitioned
 
 // Figure6 reproduces the summary figure.
 func (s *Suite) Figure6() (*Figure6Bars, error) {
-	bs, err := s.Benches()
+	return s.Figure6Ctx(context.Background())
+}
+
+// Figure6Ctx is Figure6 with cancellation.
+func (s *Suite) Figure6Ctx(ctx context.Context) (*Figure6Bars, error) {
+	bs, err := s.BenchesCtx(ctx)
 	if err != nil {
 		return nil, err
 	}
-	var out Figure6Bars
-	for li, link := range Links {
-		for oi, ord := range Orders {
+	var cells []Cell
+	for _, link := range Links {
+		for _, ord := range Orders {
 			variants := []Variant{
 				{Order: ord, Engine: Parallel, Mode: transfer.NonStrict, Limit: 4, Link: link},
 				{Order: ord, Engine: Parallel, Mode: transfer.Partitioned, Limit: 4, Link: link},
 				{Order: ord, Engine: Interleaved, Mode: transfer.NonStrict, Link: link},
 				{Order: ord, Engine: Interleaved, Mode: transfer.Partitioned, Link: link},
 			}
-			for ti, v := range variants {
-				var sum float64
+			for _, v := range variants {
 				for _, b := range bs {
-					pct, err := b.Normalized(v)
-					if err != nil {
-						return nil, err
-					}
-					sum += pct
+					cells = append(cells, Cell{Bench: b, V: v})
+				}
+			}
+		}
+	}
+	vals, err := s.runner.EvalGrid(ctx, cells)
+	if err != nil {
+		return nil, err
+	}
+	var out Figure6Bars
+	k := 0
+	for li := range Links {
+		for oi := range Orders {
+			for ti := 0; ti < 4; ti++ {
+				var sum float64
+				for range bs {
+					sum += vals[k]
+					k++
 				}
 				out.Bars[li][oi][ti] = sum / float64(len(bs))
 			}

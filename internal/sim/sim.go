@@ -11,6 +11,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 
 	"nonstrict/internal/classfile"
@@ -33,6 +34,8 @@ type Result struct {
 	StallCycles int64
 	// StallEvents counts first-use arrivals that had to wait.
 	StallEvents int
+	// Demands counts engine queries — one per method first-use.
+	Demands int
 	// Mispredicts is the engine's demand-correction count.
 	Mispredicts int
 }
@@ -49,10 +52,16 @@ func (r Result) Overlap() float64 {
 // Run replays trace against eng. ix must index the program the trace was
 // collected from; cpi is the cycles-per-bytecode-instruction cost.
 func Run(trace []vm.Segment, ix *classfile.Index, eng transfer.Engine, cpi int64) (Result, error) {
+	return RunContext(context.Background(), trace, ix, eng, cpi)
+}
+
+// RunContext is Run with cancellation: it checks ctx periodically and
+// abandons the replay with ctx's error once it is done.
+func RunContext(ctx context.Context, trace []vm.Segment, ix *classfile.Index, eng transfer.Engine, cpi int64) (Result, error) {
 	if cpi <= 0 {
 		return Result{}, fmt.Errorf("sim: non-positive CPI %d", cpi)
 	}
-	return RunCosted(trace, ix, eng, func(classfile.MethodID) int64 { return cpi })
+	return RunCostedContext(ctx, trace, ix, eng, func(classfile.MethodID) int64 { return cpi })
 }
 
 // RunCosted is Run with a per-method cycle cost — the refinement the
@@ -61,6 +70,15 @@ func Run(trace []vm.Segment, ix *classfile.Index, eng transfer.Engine, cpi int64
 // CPIs derived from each method's opcode mix replace the single
 // program-wide average.
 func RunCosted(trace []vm.Segment, ix *classfile.Index, eng transfer.Engine, cpiOf func(classfile.MethodID) int64) (Result, error) {
+	return RunCostedContext(context.Background(), trace, ix, eng, cpiOf)
+}
+
+// ctxCheckEvery is how many trace segments replay between cancellation
+// checks; a power of two keeps the check a mask test.
+const ctxCheckEvery = 1 << 14
+
+// RunCostedContext is RunCosted with cancellation.
+func RunCostedContext(ctx context.Context, trace []vm.Segment, ix *classfile.Index, eng transfer.Engine, cpiOf func(classfile.MethodID) int64) (Result, error) {
 	if len(trace) == 0 {
 		return Result{}, fmt.Errorf("sim: empty trace")
 	}
@@ -68,11 +86,17 @@ func RunCosted(trace []vm.Segment, ix *classfile.Index, eng transfer.Engine, cpi
 	seen := make([]bool, ix.Len())
 	var now int64
 	for i, seg := range trace {
+		if i&(ctxCheckEvery-1) == 0 {
+			if err := ctx.Err(); err != nil {
+				return Result{}, err
+			}
+		}
 		if int(seg.M) < 0 || int(seg.M) >= ix.Len() {
 			return Result{}, fmt.Errorf("sim: trace segment %d references method %d of %d", i, seg.M, ix.Len())
 		}
 		if !seen[seg.M] {
 			seen[seg.M] = true
+			res.Demands++
 			avail := eng.Demand(ix.Ref(seg.M), now)
 			if avail < now {
 				return Result{}, fmt.Errorf("sim: engine returned availability %d before now %d", avail, now)

@@ -1,0 +1,84 @@
+package stream
+
+import (
+	"net/http"
+	"time"
+)
+
+// Fault injects transport failures into an HTTP handler, for tests and
+// the demo server: a fixed latency before every write, and a hard
+// connection drop after every N payload bytes. Drops are deterministic
+// in byte position — a seeded client fetching a fixed stream through a
+// Fault observes a reproducible failure schedule — and each request gets
+// a fresh byte budget, so a resuming client always makes progress as
+// long as DropEvery > 0.
+type Fault struct {
+	// DropEvery kills the connection after N response-body bytes on each
+	// request (0 = never). The partial payload is flushed first, so the
+	// client sees real progress followed by a mid-stream disconnect.
+	DropEvery int64
+	// Latency is added before each body write.
+	Latency time.Duration
+}
+
+// Enabled reports whether the fault injects anything.
+func (f Fault) Enabled() bool { return f.DropEvery > 0 || f.Latency > 0 }
+
+// Wrap returns h with the fault applied to every request. A no-op fault
+// returns h unchanged.
+func (f Fault) Wrap(h http.Handler) http.Handler {
+	if !f.Enabled() {
+		return h
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		h.ServeHTTP(&faultWriter{rw: w, f: f, remaining: f.DropEvery}, r)
+	})
+}
+
+// faultWriter counts payload bytes and aborts the connection when the
+// drop budget is exhausted.
+type faultWriter struct {
+	rw        http.ResponseWriter
+	f         Fault
+	remaining int64
+}
+
+func (w *faultWriter) Header() http.Header { return w.rw.Header() }
+
+func (w *faultWriter) WriteHeader(code int) { w.rw.WriteHeader(code) }
+
+func (w *faultWriter) Flush() {
+	if fl, ok := w.rw.(http.Flusher); ok {
+		fl.Flush()
+	}
+}
+
+func (w *faultWriter) Write(p []byte) (int, error) {
+	if w.f.Latency > 0 {
+		time.Sleep(w.f.Latency)
+	}
+	if w.f.DropEvery <= 0 {
+		return w.rw.Write(p)
+	}
+	if w.remaining <= 0 {
+		w.abort()
+	}
+	if int64(len(p)) > w.remaining {
+		p = p[:w.remaining]
+	}
+	n, err := w.rw.Write(p)
+	w.remaining -= int64(n)
+	if err != nil {
+		return n, err
+	}
+	if w.remaining <= 0 {
+		// Deliver what was written, then kill the connection.
+		w.Flush()
+		w.abort()
+	}
+	return n, nil
+}
+
+// abort drops the connection without a graceful close; net/http
+// recognizes ErrAbortHandler and does not log it.
+func (w *faultWriter) abort() { panic(http.ErrAbortHandler) }

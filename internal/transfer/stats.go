@@ -1,0 +1,31 @@
+package transfer
+
+// Stats counts one engine's activity over a simulation: how many demand
+// queries it served, how many were misprediction corrections, and how
+// far the transfer had progressed when the last query was answered.
+type Stats struct {
+	// DemandFetches is the number of Demand queries served — one per
+	// method first-use in the replayed trace.
+	DemandFetches int
+	// Mispredicts is the number of demand corrections (§5.1): demanded
+	// methods whose class was neither transferred nor transferring.
+	Mispredicts int
+	// BytesDelivered is the stream bytes delivered when the last demand
+	// was answered (the high-water mark of the transfer clock).
+	BytesDelivered int64
+}
+
+// StatsProvider is implemented by engines that report transfer counters;
+// all engines in this package do.
+type StatsProvider interface {
+	Stats() Stats
+}
+
+// StatsOf returns eng's counters, or a zero Stats if the engine does not
+// report any.
+func StatsOf(eng Engine) Stats {
+	if sp, ok := eng.(StatsProvider); ok {
+		return sp.Stats()
+	}
+	return Stats{}
+}

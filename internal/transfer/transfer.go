@@ -137,6 +137,10 @@ type sequential struct {
 	link   Link
 	finish map[string]int64 // per-class completion cycle
 	avail  map[classfile.Ref]int64
+
+	total     int64 // total stream bytes
+	demands   int
+	lastClock int64 // latest cycle any demand was answered at
 }
 
 // NewSequential builds the one-at-a-time engine. classOrder fixes the
@@ -163,10 +167,12 @@ func NewSequential(classOrder []string, files map[string]*File, link Link) (Engi
 		off += int64(f.Size)
 		e.finish[name] = off * link.CyclesPerByte
 	}
+	e.total = off
 	return e, nil
 }
 
 func (e *sequential) Demand(m classfile.Ref, now int64) int64 {
+	e.demands++
 	t, ok := e.avail[m]
 	if !ok {
 		// Unknown method: conservatively wait for everything.
@@ -176,15 +182,36 @@ func (e *sequential) Demand(m classfile.Ref, now int64) int64 {
 				max = f
 			}
 		}
-		return maxi64(now, max)
+		t = max
 	}
-	return maxi64(now, t)
+	at := maxi64(now, t)
+	if at > e.lastClock {
+		e.lastClock = at
+	}
+	return at
 }
 
 func (e *sequential) Mispredicts() int { return 0 }
 
+// Stats implements StatsProvider. Transfer runs continuously, so by the
+// last answered demand the link has delivered clock/CyclesPerByte bytes,
+// capped at the stream total.
+func (e *sequential) Stats() Stats {
+	return Stats{
+		DemandFetches:  e.demands,
+		BytesDelivered: mini64(e.total, e.lastClock/e.link.CyclesPerByte),
+	}
+}
+
 func maxi64(a, b int64) int64 {
 	if a > b {
+		return a
+	}
+	return b
+}
+
+func mini64(a, b int64) int64 {
+	if a < b {
 		return a
 	}
 	return b
@@ -212,13 +239,17 @@ type interleaved struct {
 	avail    map[classfile.Ref]int64
 	total    int64
 	arrivals []Arrival
+
+	link      Link
+	demands   int
+	lastClock int64
 }
 
 // NewInterleaved builds the virtual-file engine. ix indexes the original
 // program (orders are expressed in its MethodIDs); l and part describe
 // the restructured layout.
 func NewInterleaved(order *reorder.Order, ix *classfile.Index, l *restructure.Layouts, part *datapart.Partition, link Link) Engine {
-	e := &interleaved{avail: make(map[classfile.Ref]int64, len(order.Methods))}
+	e := &interleaved{avail: make(map[classfile.Ref]int64, len(order.Methods)), link: link}
 	emitted := make(map[string]bool)
 	var off int64
 	for _, id := range order.Methods {
@@ -249,14 +280,27 @@ func NewInterleaved(order *reorder.Order, ix *classfile.Index, l *restructure.La
 }
 
 func (e *interleaved) Demand(m classfile.Ref, now int64) int64 {
+	e.demands++
 	t, ok := e.avail[m]
 	if !ok {
-		return maxi64(now, e.total)
+		t = e.total
 	}
-	return maxi64(now, t)
+	at := maxi64(now, t)
+	if at > e.lastClock {
+		e.lastClock = at
+	}
+	return at
 }
 
 func (e *interleaved) Mispredicts() int { return 0 }
+
+// Stats implements StatsProvider.
+func (e *interleaved) Stats() Stats {
+	return Stats{
+		DemandFetches:  e.demands,
+		BytesDelivered: mini64(e.total/e.link.CyclesPerByte, e.lastClock/e.link.CyclesPerByte),
+	}
+}
 
 // Arrivals implements ArrivalSchedule: methods in stream order with
 // their delivery cycles.

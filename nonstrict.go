@@ -123,6 +123,13 @@ type (
 	OrderKind = experiments.OrderKind
 	// EngineKind selects the transfer methodology.
 	EngineKind = experiments.EngineKind
+	// Runner fans simulation grids across a worker pool with
+	// deterministic, serial-identical result collection.
+	Runner = experiments.Runner
+	// RunnerStats snapshots the counters a Runner accumulates.
+	RunnerStats = experiments.RunnerStats
+	// Cell is one benchmark × variant point of an evaluation grid.
+	Cell = experiments.Cell
 )
 
 // Links from the paper: a T1 line and a 28.8K modem, expressed as cycles
@@ -244,6 +251,15 @@ type (
 	StreamLoader = stream.Loader
 	// StreamEvent is one loader progress notification.
 	StreamEvent = stream.Event
+	// FetchClient downloads streams over HTTP with per-request
+	// timeouts, capped exponential backoff, and Range-based resume
+	// after dropped connections.
+	FetchClient = stream.FetchClient
+	// FetchStats snapshots a FetchClient's transfer counters.
+	FetchStats = stream.FetchStats
+	// Fault injects deterministic transport failures (drops, latency)
+	// into an HTTP handler for tests and demos.
+	Fault = stream.Fault
 )
 
 // NewStreamWriter plans the interleaved stream of a restructured program.
