@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race lint bench-smoke ci clean
+.PHONY: all build test race lint bench-smoke live-smoke ci clean
 
 all: build
 
@@ -25,7 +25,12 @@ lint:
 bench-smoke:
 	$(GO) test -run TestPaperTables -short -v ./internal/experiments
 
-ci: build lint test race bench-smoke
+# Overlapped execution end to end: serve with fault injection, execute
+# while the stream arrives (run-remote), gate on the self-check.
+live-smoke:
+	$(GO) test -run 'TestLive|TestServeAndRunRemote' -v ./internal/live ./cmd/nonstrict
+
+ci: build lint test race bench-smoke live-smoke
 
 clean:
 	$(GO) clean ./...

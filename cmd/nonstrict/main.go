@@ -15,6 +15,8 @@
 //	nonstrict sim <name> [flags]   simulate one configuration
 //	nonstrict serve <name>         publish a benchmark as an HTTP stream
 //	nonstrict fetch <url> -name N  load it non-strictly and run it
+//	nonstrict run-remote <url> -name N
+//	                               execute it while it streams in
 package main
 
 import (
@@ -50,7 +52,11 @@ commands:
   jit                  print the JIT-compilation-overlap extension
   sim <name> [flags]   simulate one transfer configuration
   serve <name> [flags] publish a benchmark as a non-strict HTTP stream
-  fetch <url> -name N  load a served benchmark non-strictly and run it`)
+  fetch <url> -name N  load a served benchmark non-strictly and run it
+  run-remote <url> -name N
+                       execute a served benchmark WHILE it streams in,
+                       measuring first-invocation latency and overlap
+                       (-stats compares against simulator predictions)`)
 	os.Exit(2)
 }
 
@@ -99,6 +105,8 @@ func dispatch(ctx context.Context, cmd string, args []string, out io.Writer) err
 		return cmdServe(ctx, args, out)
 	case "fetch":
 		return cmdFetch(ctx, args, out)
+	case "run-remote":
+		return cmdRunRemote(ctx, args, out)
 	default:
 		return errUsage
 	}

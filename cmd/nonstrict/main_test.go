@@ -182,3 +182,67 @@ func TestServeAndFetchWithFaults(t *testing.T) {
 		t.Errorf("transfer reported no resumes over a dropping link:\n%s", out)
 	}
 }
+
+// TestServeAndRunRemote: the overlapped-execution round trip. The
+// program executes while its bytes stream in, passes its self-check,
+// and reports first-invocation latencies and overlap next to the
+// simulator's predictions.
+func TestServeAndRunRemote(t *testing.T) {
+	srv, _, err := newServer("Hanoi", 0, stream.Fault{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(ln)
+	defer srv.Close()
+
+	url := "http://" + ln.Addr().String() + "/app"
+	out := capture(t, "run-remote", url, "-name", "Hanoi", "-stats", "-backoff", "1ms")
+	for _, want := range []string{
+		"self-check: ok",
+		"first method runnable after",
+		"measured overlap:",
+		"first-invocation latencies",
+		"simulator prediction",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("run-remote output missing %q:\n%s", want, out)
+		}
+	}
+
+	// Error paths.
+	if err := captureErr(t, "run-remote", url); err == nil {
+		t.Error("run-remote without -name succeeded")
+	}
+	if err := captureErr(t, "run-remote", "http://"+ln.Addr().String()+"/nope", "-name", "Hanoi"); err == nil {
+		t.Error("run-remote of missing path succeeded")
+	}
+}
+
+// TestServeAndRunRemoteWithFaults: overlapped execution over a dropping
+// link — the acceptance scenario. Completion must survive the drops
+// (resumes > 0) with the self-check still passing.
+func TestServeAndRunRemoteWithFaults(t *testing.T) {
+	srv, size, err := newServer("Hanoi", 0, stream.Fault{DropEvery: 600})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(ln)
+	defer srv.Close()
+
+	url := "http://" + ln.Addr().String() + "/app"
+	out := capture(t, "run-remote", url, "-name", "Hanoi", "-backoff", "1ms", "-latencies", "0")
+	if !strings.Contains(out, "self-check: ok") {
+		t.Errorf("faulty run-remote output:\n%s", out)
+	}
+	if size > 600 && strings.Contains(out, " 0 resumes)") {
+		t.Errorf("run-remote reported no resumes over a dropping link:\n%s", out)
+	}
+}

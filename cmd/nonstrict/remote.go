@@ -1,0 +1,131 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"nonstrict"
+	"nonstrict/internal/live"
+)
+
+// cmdRunRemote downloads a served benchmark and executes it WHILE the
+// bytes stream in — the paper's overlapped execution, measured on a real
+// transfer instead of replayed in the cycle simulator. Methods invoked
+// before their bytes arrive block at the VM's availability gate; methods
+// wanted out of predicted order are demand-fetched by byte range using
+// the server's unit table. The command reports wall-clock
+// first-invocation latencies and overlap statistics, and -stats prints
+// the cycle simulator's predictions for the same program next to them.
+func cmdRunRemote(ctx context.Context, args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("run-remote", flag.ContinueOnError)
+	name := fs.String("name", "", "benchmark name (for input args and self-check)")
+	train := fs.Bool("train", false, "run the train input instead of test")
+	timeout := fs.Duration("timeout", 10*time.Second, "per-request idle timeout")
+	retries := fs.Int("retries", 8, "consecutive zero-progress attempts before giving up")
+	backoff := fs.Duration("backoff", 100*time.Millisecond, "base retry backoff (doubles per failure, capped)")
+	stats := fs.Bool("stats", false, "print the simulator's predicted overlap next to the measured run")
+	nlat := fs.Int("latencies", 10, "first-invocation latencies to print (0 = none, -1 = all)")
+	if len(args) == 0 || strings.HasPrefix(args[0], "-") {
+		return fmt.Errorf("run-remote: usage: nonstrict run-remote <url> -name <benchmark> [-train] [-stats] [-latencies N] [-timeout D] [-retries N] [-backoff D]")
+	}
+	url := args[0]
+	if err := fs.Parse(args[1:]); err != nil {
+		return err
+	}
+	if *name == "" {
+		return fmt.Errorf("run-remote: -name is required")
+	}
+	app, err := nonstrict.Benchmark(*name)
+	if err != nil {
+		return err
+	}
+
+	client := &nonstrict.FetchClient{
+		RequestTimeout: *timeout,
+		MaxRetries:     *retries,
+		BackoffBase:    *backoff,
+	}
+	m, st, err := live.Run(ctx, live.Options{
+		URL:       url,
+		TOCURL:    url + ".toc",
+		Name:      app.Name,
+		MainClass: app.IR.Main,
+		Client:    client,
+		Run:       nonstrict.RunOptions{Args: app.Args(*train)},
+	})
+	if err != nil {
+		return err
+	}
+	if err := app.Check(m, *train); err != nil {
+		return fmt.Errorf("run-remote: self-check failed: %w", err)
+	}
+
+	fmt.Fprintf(out, "executed %d instructions while %d classes / %d methods streamed in; self-check: ok\n",
+		m.Steps(), st.Classes, st.Methods)
+	fmt.Fprintf(out, "first method runnable after %v; execution done at %v; transfer done at %v\n",
+		st.FirstRunnable.Round(time.Microsecond), st.ExecDone.Round(time.Microsecond),
+		st.TransferDone.Round(time.Microsecond))
+	fmt.Fprintf(out, "measured overlap: %.1f%% of execution ran during transfer (stalled %v across %d first invocations)\n",
+		100*st.Overlap(), st.StallTime.Round(time.Microsecond), len(st.Waits))
+	fmt.Fprintf(out, "demand fetches: %d (%d mispredicts, %d bytes); main stream: %d bytes\n",
+		st.DemandFetches, st.Mispredicts, st.DemandBytes, st.StreamBytes)
+	fmt.Fprintf(out, "transfer: %d bytes in %d requests (%d retries, %d resumes)\n",
+		st.Transfer.BytesTransferred, st.Transfer.Requests, st.Transfer.Retries, st.Transfer.Resumes)
+
+	if *nlat != 0 {
+		n := len(st.Waits)
+		if *nlat > 0 && n > *nlat {
+			n = *nlat
+		}
+		fmt.Fprintf(out, "first-invocation latencies (first %d of %d):\n", n, len(st.Waits))
+		for _, w := range st.Waits[:n] {
+			mark := ""
+			if w.Demand {
+				mark = "  [demand]"
+			}
+			fmt.Fprintf(out, "  %-28s at %10v  waited %10v%s\n",
+				fmt.Sprintf("%s.%s", w.Method.Class, w.Method.Name),
+				w.At.Round(time.Microsecond), w.Wait.Round(time.Microsecond), mark)
+		}
+	}
+
+	if *stats {
+		if err := printSimPrediction(out, app.Name, st); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// printSimPrediction runs the cycle simulator on the same benchmark in
+// the configuration run-remote mirrors — static prediction, interleaved
+// transfer, non-strict availability — and prints its predicted overlap
+// beside the measured one.
+func printSimPrediction(out io.Writer, name string, st *live.Stats) error {
+	b, err := nonstrict.LoadBenchmark(name)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "simulator prediction (order=scg engine=interleaved mode=nonstrict):\n")
+	for _, link := range []nonstrict.Link{nonstrict.T1, nonstrict.Modem} {
+		res, err := b.Simulate(nonstrict.Variant{
+			Order:  nonstrict.SCG,
+			Engine: nonstrict.Interleaved,
+			Mode:   nonstrict.NonStrict,
+			Link:   link,
+		})
+		if err != nil {
+			return err
+		}
+		strict := b.StrictTotal(link)
+		fmt.Fprintf(out, "  %-6s predicted overlap %5.1f%%, %5.1f%% of strict, %d mispredicts\n",
+			link.Name+":", 100*res.Overlap(), 100*float64(res.TotalCycles)/float64(strict), res.Mispredicts)
+	}
+	fmt.Fprintf(out, "  measured: overlap %.1f%%, %d mispredicts (wall-clock, link-speed dependent)\n",
+		100*st.Overlap(), st.Mispredicts)
+	return nil
+}

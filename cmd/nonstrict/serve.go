@@ -86,12 +86,21 @@ func newServer(name string, rate int, fault stream.Fault) (*http.Server, int64, 
 		return nil, 0, err
 	}
 	data := buf.Bytes()
+	toc, err := stream.MarshalTOC(w.TOC())
+	if err != nil {
+		return nil, 0, err
+	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/app", func(rw http.ResponseWriter, req *http.Request) {
 		if rate > 0 {
 			rw = &pacedWriter{rw: rw, rate: rate}
 		}
 		http.ServeContent(rw, req, "app.bin", time.Time{}, bytes.NewReader(data))
+	})
+	// The writer's unit table, for demand-fetching clients (run-remote):
+	// maps every global/body unit to its byte range in /app.
+	mux.HandleFunc("/app.toc", func(rw http.ResponseWriter, req *http.Request) {
+		http.ServeContent(rw, req, "app.toc.json", time.Time{}, bytes.NewReader(toc))
 	})
 	return &http.Server{Handler: fault.Wrap(mux)}, w.Size(), nil
 }

@@ -1,0 +1,445 @@
+// Package live runs a program while its bytes are still arriving — the
+// paper's non-strict execution, for real rather than simulated. It
+// pipelines FetchClient → stream.Loader → vm in goroutines: the fetch
+// goroutine streams the interleaved virtual file and feeds the loader,
+// whose verified units flow into the VM's incremental link state, while
+// the VM goroutine executes. First invocation of a method blocks at the
+// availability gate until the loader fires MethodReady; a method wanted
+// out of predicted order is demand-fetched through a byte-range request
+// against the writer's unit table (§5.1's misprediction correction
+// applied to the §5.2 virtual file). The runtime records wall-clock
+// first-invocation latencies and overlap statistics, the measured
+// counterparts of the cycle simulator's predictions.
+package live
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"nonstrict/internal/classfile"
+	"nonstrict/internal/stream"
+	"nonstrict/internal/vm"
+)
+
+// Options configures one overlapped run.
+type Options struct {
+	// URL is the interleaved stream's address.
+	URL string
+	// TOCURL is the writer's unit table address; empty disables demand
+	// fetches (every gate wait then rides the main stream).
+	TOCURL string
+	// Name and MainClass identify the program (as NewLoader takes them).
+	Name      string
+	MainClass string
+	// Client transfers the stream; nil uses a default FetchClient.
+	Client *stream.FetchClient
+	// Run is passed to the VM.
+	Run vm.Options
+}
+
+// Wait records one first-invocation gate crossing.
+type Wait struct {
+	// Method is the invoked method.
+	Method classfile.Ref
+	// At is when the invocation happened, measured from run start.
+	At time.Duration
+	// Wait is how long the VM blocked before the method's bytes were in
+	// (zero when the stream was ahead of execution).
+	Wait time.Duration
+	// Demand reports that the bytes came via a demand fetch rather than
+	// in predicted stream order.
+	Demand bool
+}
+
+// Stats is the measured outcome of an overlapped run.
+type Stats struct {
+	// Transfer snapshots the fetch client's counters.
+	Transfer stream.FetchStats
+	// StreamBytes is main-stream bytes consumed (headers included);
+	// DemandBytes is payload bytes that arrived via demand fetches.
+	StreamBytes, DemandBytes int64
+	// DemandFetches counts range requests issued for out-of-order needs;
+	// Mispredicts counts gate waits that triggered them.
+	DemandFetches, Mispredicts int
+	// FirstRunnable is when the entry method's bytes were in — the
+	// measured invocation latency of the paper's Table 4.
+	FirstRunnable time.Duration
+	// ExecDone and TransferDone mark, from run start, when execution
+	// finished and when the main stream was fully consumed.
+	ExecDone, TransferDone time.Duration
+	// StallTime is the total time execution spent blocked at the gate.
+	StallTime time.Duration
+	// Waits lists every first invocation in execution order.
+	Waits []Wait
+	// Classes and Methods count what actually arrived and linked.
+	Classes, Methods int
+}
+
+// Overlap is the fraction of the execution window not spent stalled —
+// the measured analog of sim.Result.Overlap.
+func (s *Stats) Overlap() float64 {
+	if s.ExecDone <= 0 {
+		return 0
+	}
+	return 1 - float64(s.StallTime)/float64(s.ExecDone)
+}
+
+// runtime is the shared state between the transfer, demand, and VM
+// goroutines. Its mutex orders strictly before the loader's: gate waits
+// hold rt.mu and may query the loader, while event delivery and demand
+// feeding take the loader's lock first and rt.mu only after release.
+type runtime struct {
+	opts   Options
+	ctx    context.Context // canceled when the run is abandoned
+	client *stream.FetchClient
+	loader *stream.Loader
+	lv     *vm.LiveLinked
+	toc    []stream.UnitInfo
+	start  time.Time
+
+	mu          sync.Mutex
+	cond        *sync.Cond
+	classReady  map[string]bool
+	methodReady map[classfile.Ref]bool
+	demanded    map[classfile.Ref]bool // method demand launched
+	classDem    map[string]bool        // class-global demand launched
+	err         error
+	done        bool // main stream fully consumed (or failed)
+	transferEnd time.Duration
+
+	waits       []Wait
+	stall       time.Duration
+	demands     int
+	mispredicts int
+}
+
+// Run executes the program at opts.URL while it streams in, returning
+// the finished machine and the measured overlap statistics. The machine
+// is valid (with partial profile) even when err is non-nil.
+func Run(ctx context.Context, opts Options) (*vm.Machine, *Stats, error) {
+	client := opts.Client
+	if client == nil {
+		client = &stream.FetchClient{}
+	}
+	rt := &runtime{
+		opts:        opts,
+		client:      client,
+		loader:      stream.NewLoader(opts.Name, opts.MainClass, nil),
+		classReady:  make(map[string]bool),
+		methodReady: make(map[classfile.Ref]bool),
+		demanded:    make(map[classfile.Ref]bool),
+		classDem:    make(map[string]bool),
+	}
+	rt.cond = sync.NewCond(&rt.mu)
+	rt.lv = vm.NewLive(opts.Name, opts.MainClass, rt)
+
+	if opts.TOCURL != "" {
+		var buf bytes.Buffer
+		if _, err := client.Fetch(ctx, opts.TOCURL, &buf); err != nil {
+			return nil, nil, fmt.Errorf("live: fetching unit table: %w", err)
+		}
+		toc, err := stream.ParseTOC(buf.Bytes())
+		if err != nil {
+			return nil, nil, err
+		}
+		rt.toc = toc
+	}
+
+	tctx, tcancel := context.WithCancel(ctx)
+	defer tcancel()
+	rt.ctx = tctx
+	rt.start = time.Now()
+	transferDone := make(chan struct{})
+	go func() {
+		defer close(transferDone)
+		rt.transferLoop(tctx)
+	}()
+
+	m, runErr := rt.lv.Run(opts.Run)
+	execDone := time.Since(rt.start)
+	if runErr != nil {
+		tcancel() // abandon whatever is still streaming
+	}
+	<-transferDone
+
+	rt.mu.Lock()
+	st := &Stats{
+		Transfer:      client.Stats(),
+		StreamBytes:   rt.loader.Consumed(),
+		DemandBytes:   rt.loader.DemandBytes(),
+		DemandFetches: rt.demands,
+		Mispredicts:   rt.mispredicts,
+		ExecDone:      execDone,
+		TransferDone:  rt.transferEnd,
+		StallTime:     rt.stall,
+		Waits:         rt.waits,
+		Classes:       rt.lv.Classes(),
+		Methods:       rt.lv.Methods(),
+	}
+	rt.mu.Unlock()
+	if len(st.Waits) > 0 {
+		st.FirstRunnable = st.Waits[0].At + st.Waits[0].Wait
+	}
+	return m, st, runErr
+}
+
+// transferLoop streams the virtual file into the loader until EOF or
+// failure, then marks the runtime done and wakes every gate waiter.
+func (rt *runtime) transferLoop(ctx context.Context) {
+	err := func() error {
+		body, err := rt.client.Open(ctx, rt.opts.URL)
+		if err != nil {
+			return err
+		}
+		defer body.Close()
+		return rt.loader.Load(body, func(e stream.Event) {
+			if herr := rt.handleEvent(e); herr != nil {
+				rt.fail(herr)
+			}
+		})
+	}()
+	rt.mu.Lock()
+	rt.done = true
+	rt.transferEnd = time.Since(rt.start)
+	if err != nil && rt.err == nil && ctx.Err() == nil {
+		rt.err = fmt.Errorf("live: transfer: %w", err)
+	}
+	rt.mu.Unlock()
+	rt.cond.Broadcast()
+}
+
+// handleEvent publishes one loader event to the gate. AddClass runs
+// before the class is marked ready, so a waiter released by AwaitClass
+// always finds the class registered in the link state.
+func (rt *runtime) handleEvent(e stream.Event) error {
+	switch e.Kind {
+	case stream.ClassLinked:
+		c := rt.loader.LoadedClass(e.Class)
+		if c == nil {
+			return fmt.Errorf("live: loader fired ClassLinked for unknown class %q", e.Class)
+		}
+		if err := rt.lv.AddClass(c); err != nil {
+			return err
+		}
+		rt.mu.Lock()
+		rt.classReady[e.Class] = true
+		rt.mu.Unlock()
+		rt.cond.Broadcast()
+	case stream.MethodReady:
+		rt.mu.Lock()
+		rt.methodReady[e.Method] = true
+		rt.mu.Unlock()
+		rt.cond.Broadcast()
+	}
+	return nil
+}
+
+// fail records the first terminal error and wakes all gate waiters.
+func (rt *runtime) fail(err error) {
+	rt.mu.Lock()
+	if rt.err == nil {
+		rt.err = err
+	}
+	rt.mu.Unlock()
+	rt.cond.Broadcast()
+}
+
+// AwaitMethod implements vm.Gate: it blocks until ref's body has
+// arrived and verified (and its class is linked — a demand-raced
+// MethodReady can otherwise outrun ClassLinked delivery), launching a
+// demand fetch when the stream will not deliver ref next.
+func (rt *runtime) AwaitMethod(ref classfile.Ref) error {
+	began := time.Now()
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	for !(rt.methodReady[ref] && rt.classReady[ref.Class]) {
+		if rt.err != nil {
+			return rt.err
+		}
+		launched := rt.maybeDemandMethod(ref)
+		if rt.done && !launched && !rt.demanded[ref] {
+			return fmt.Errorf("live: method %v never arrived and cannot be demanded", ref)
+		}
+		rt.cond.Wait()
+	}
+	w := time.Since(began)
+	rt.stall += w
+	rt.waits = append(rt.waits, Wait{
+		Method: ref,
+		At:     began.Sub(rt.start),
+		Wait:   w,
+		Demand: rt.demanded[ref],
+	})
+	return nil
+}
+
+// AwaitClass implements vm.Gate: it blocks until the class's global
+// data has linked, demand-fetching the global unit when it is out of
+// predicted order.
+func (rt *runtime) AwaitClass(class string) error {
+	began := time.Now()
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	for !rt.classReady[class] {
+		if rt.err != nil {
+			return rt.err
+		}
+		launched := rt.maybeDemandClass(class)
+		if rt.done && !launched && !rt.classDem[class] {
+			return fmt.Errorf("live: class %q never arrived and cannot be demanded", class)
+		}
+		rt.cond.Wait()
+	}
+	rt.stall += time.Since(began)
+	return nil
+}
+
+// maybeDemandMethod decides whether ref is out of predicted order — the
+// next body unit the main stream will deliver is a different method —
+// and if so launches a demand fetch. Reports whether a fetch was
+// launched. Caller holds rt.mu.
+func (rt *runtime) maybeDemandMethod(ref classfile.Ref) bool {
+	if rt.toc == nil || rt.demanded[ref] {
+		return false
+	}
+	if !rt.done && !rt.outOfOrder(func(u stream.UnitInfo) bool { return u.Method == ref }) {
+		return false // arriving next anyway; cheaper to wait
+	}
+	rt.demanded[ref] = true
+	rt.mispredicts++
+	go rt.demandMethod(ref)
+	return true
+}
+
+// maybeDemandClass is maybeDemandMethod for a class's global unit.
+// Caller holds rt.mu.
+func (rt *runtime) maybeDemandClass(class string) bool {
+	if rt.toc == nil || rt.classDem[class] {
+		return false
+	}
+	match := func(u stream.UnitInfo) bool { return u.Kind == stream.KindGlobal && u.ClassName == class }
+	if !rt.done && !rt.outOfOrder(match) {
+		return false
+	}
+	rt.classDem[class] = true
+	rt.mispredicts++
+	go rt.demandClass(class)
+	return true
+}
+
+// outOfOrder reports whether the first not-yet-consumed unit matching
+// the predicate is NOT the very next unit of its kind the stream will
+// deliver — i.e. waiting for the main stream would first sit through
+// other units. A matching global unit immediately before the matching
+// body does not count as out of order. Caller holds rt.mu.
+func (rt *runtime) outOfOrder(match func(stream.UnitInfo) bool) bool {
+	cursor := rt.loader.UnitsConsumed()
+	if cursor >= len(rt.toc) {
+		return true // stream exhausted without a match
+	}
+	// Skip the in-flight prefix that precedes the awaited unit only if
+	// it is this unit's own class global; anything else means the
+	// prediction put other work first.
+	for i := cursor; i < len(rt.toc); i++ {
+		u := rt.toc[i]
+		if match(u) {
+			return false
+		}
+		if u.Kind == stream.KindBody {
+			return true
+		}
+		// A global unit for some class: in order only when the awaited
+		// unit follows immediately (checked on the next iteration).
+	}
+	return true
+}
+
+// demandMethod pulls ref's body (and, if needed, its class's global
+// unit first) out of the stream with range requests and feeds them to
+// the loader. Runs on its own goroutine, holding no locks.
+func (rt *runtime) demandMethod(ref classfile.Ref) {
+	var bodyU *stream.UnitInfo
+	for i := range rt.toc {
+		if rt.toc[i].Kind == stream.KindBody && rt.toc[i].Method == ref {
+			bodyU = &rt.toc[i]
+			break
+		}
+	}
+	if bodyU == nil {
+		rt.fail(fmt.Errorf("live: method %v is not in the unit table", ref))
+		return
+	}
+	if rt.loader.LoadedClass(ref.Class) == nil {
+		if err := rt.fetchGlobal(ref.Class); err != nil {
+			rt.fail(err)
+			return
+		}
+	}
+	payload, err := rt.fetchUnit(*bodyU)
+	if err != nil {
+		rt.fail(err)
+		return
+	}
+	evs, err := rt.loader.FeedDemand(bodyU.Class, stream.KindBody, bodyU.Body, payload)
+	if err != nil {
+		rt.fail(err)
+		return
+	}
+	rt.deliver(evs)
+}
+
+// demandClass pulls a class's global unit out of the stream.
+func (rt *runtime) demandClass(class string) {
+	if rt.loader.LoadedClass(class) != nil {
+		// The main stream won the race; the waiter is already released.
+		return
+	}
+	if err := rt.fetchGlobal(class); err != nil {
+		rt.fail(err)
+	}
+}
+
+// fetchGlobal range-fetches and feeds one class's global-data unit.
+func (rt *runtime) fetchGlobal(class string) error {
+	for _, u := range rt.toc {
+		if u.Kind != stream.KindGlobal || u.ClassName != class {
+			continue
+		}
+		payload, err := rt.fetchUnit(u)
+		if err != nil {
+			return err
+		}
+		evs, err := rt.loader.FeedDemand(u.Class, stream.KindGlobal, -1, payload)
+		if err != nil {
+			return err
+		}
+		rt.deliver(evs)
+		return nil
+	}
+	return fmt.Errorf("live: class %q is not in the unit table", class)
+}
+
+// fetchUnit range-fetches one unit's payload.
+func (rt *runtime) fetchUnit(u stream.UnitInfo) ([]byte, error) {
+	rt.mu.Lock()
+	rt.demands++
+	rt.mu.Unlock()
+	var buf bytes.Buffer
+	if _, err := rt.client.FetchRange(rt.ctx, rt.opts.URL, u.Off, int64(u.Len), &buf); err != nil {
+		return nil, fmt.Errorf("live: demand fetch of unit at %d: %w", u.Off, err)
+	}
+	return buf.Bytes(), nil
+}
+
+// deliver publishes demand-path loader events.
+func (rt *runtime) deliver(evs []stream.Event) {
+	for _, e := range evs {
+		if err := rt.handleEvent(e); err != nil {
+			rt.fail(err)
+			return
+		}
+	}
+}

@@ -139,8 +139,12 @@ func (c *FetchClient) backoff(fails int) time.Duration {
 		}
 		c.rng = xrand.New(seed)
 	}
-	half := d / 2
-	jittered := half + time.Duration(c.rng.Int63())%half
+	// Sub-2ns bases truncate d/2 to zero; skip the jitter rather than
+	// dividing by it.
+	jittered := d
+	if half := d / 2; half > 0 {
+		jittered = half + time.Duration(c.rng.Int63())%half
+	}
 	c.rngMu.Unlock()
 	return jittered
 }
@@ -295,16 +299,25 @@ func (r *resumeReader) tryConnect() error {
 		}
 		discard = r.off
 	case http.StatusPartialContent:
-		if start, total, ok := parseContentRange(resp.Header.Get("Content-Range")); ok {
-			if start != r.off {
-				resp.Body.Close()
-				watchdog.Stop()
-				cancel()
-				return fmt.Errorf("stream: server resumed at %d, want %d", start, r.off)
-			}
-			if total >= 0 {
-				r.total = total
-			}
+		// A 206 whose Content-Range is missing or unparseable gives no
+		// proof the body starts at our resume offset; accepting it could
+		// splice bytes at the wrong position. Treat it as a retryable
+		// failure, like a dropped connection.
+		start, total, ok := parseContentRange(resp.Header.Get("Content-Range"))
+		if !ok {
+			resp.Body.Close()
+			watchdog.Stop()
+			cancel()
+			return fmt.Errorf("stream: 206 with missing or bad Content-Range %q", resp.Header.Get("Content-Range"))
+		}
+		if start != r.off {
+			resp.Body.Close()
+			watchdog.Stop()
+			cancel()
+			return fmt.Errorf("stream: server resumed at %d, want %d", start, r.off)
+		}
+		if total >= 0 {
+			r.total = total
 		}
 	default:
 		resp.Body.Close()

@@ -7,6 +7,7 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -259,5 +260,61 @@ func TestFetchLoaderEndToEnd(t *testing.T) {
 	}
 	if st := c.Stats(); st.Resumes == 0 {
 		t.Error("stream fit in one connection; fault injection did not engage")
+	}
+}
+
+// TestBackoffSubNanosecondBase is the regression test for the
+// mod-by-zero panic: a BackoffBase whose halved delay truncates to zero
+// must skip the jitter, not divide by it.
+func TestBackoffSubNanosecondBase(t *testing.T) {
+	c := &FetchClient{BackoffBase: 1} // 1ns: d/2 == 0 on the first retry
+	for fails := 1; fails <= 6; fails++ {
+		d := c.backoff(fails)
+		if d <= 0 {
+			t.Errorf("backoff(%d) = %v, want > 0", fails, d)
+		}
+	}
+}
+
+// TestFetchRejects206WithoutContentRange is the regression test for the
+// silent resume desync: a 206 whose Content-Range is missing or garbage
+// proves nothing about where the body starts, so the client must treat
+// it as a retryable failure instead of splicing the bytes in blind.
+func TestFetchRejects206WithoutContentRange(t *testing.T) {
+	for _, header := range []string{"", "garbage", "bytes x-y/z", "bytes 999"} {
+		t.Run("header="+header, func(t *testing.T) {
+			hits := 0
+			mux := http.NewServeMux()
+			mux.HandleFunc("/bad", func(w http.ResponseWriter, r *http.Request) {
+				hits++
+				if header != "" {
+					w.Header().Set("Content-Range", header)
+				}
+				w.WriteHeader(http.StatusPartialContent)
+				w.Write([]byte("0123456789")) // bytes from offset 0, not 5
+			})
+			srv := httptest.NewServer(mux)
+			defer srv.Close()
+
+			c := fastClient(1, nil)
+			c.MaxRetries = 2
+			var got bytes.Buffer
+			_, err := c.FetchRange(context.Background(), srv.URL+"/bad", 5, 5, &got)
+			if err == nil {
+				t.Fatalf("unverifiable 206 accepted; spliced %q at offset 5", got.String())
+			}
+			if !errors.Is(err, ErrFetchFailed) {
+				t.Errorf("error %v, want ErrFetchFailed", err)
+			}
+			if !strings.Contains(err.Error(), "Content-Range") {
+				t.Errorf("error %v does not name the bad header", err)
+			}
+			if hits < 3 {
+				t.Errorf("gave up after %d attempts; the failure must be retryable", hits)
+			}
+			if got.Len() > 0 {
+				t.Errorf("%d misplaced bytes delivered", got.Len())
+			}
+		})
 	}
 }

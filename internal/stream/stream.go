@@ -14,9 +14,11 @@ package stream
 
 import (
 	"encoding/binary"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
+	"sync"
 
 	"nonstrict/internal/classfile"
 	"nonstrict/internal/reorder"
@@ -30,6 +32,10 @@ const (
 )
 
 const headerSize = 7
+
+// MaxClasses is the largest class count a stream can carry: the unit
+// header stores the class index as a u16.
+const MaxClasses = 1<<16 - 1
 
 // EventKind classifies loader progress events.
 type EventKind int
@@ -62,9 +68,12 @@ type Writer struct {
 }
 
 type unit struct {
-	class int
-	kind  byte
-	data  []byte
+	class  int
+	cls    string // class name
+	kind   byte
+	body   int           // body index within the class; -1 for globals
+	method classfile.Ref // delivered method; zero for globals
+	data   []byte
 }
 
 // NewWriter plans the stream: each class's global data immediately before
@@ -72,6 +81,10 @@ type unit struct {
 // already be restructured so that each class's file order equals the
 // order's restriction to it.
 func NewWriter(p *classfile.Program, ix *classfile.Index, o *reorder.Order) (*Writer, error) {
+	if len(p.Classes) > MaxClasses {
+		return nil, fmt.Errorf("stream: program has %d classes; the unit header's u16 class index holds at most %d",
+			len(p.Classes), MaxClasses)
+	}
 	classIdx := make(map[string]int, len(p.Classes))
 	serialized := make([][]byte, len(p.Classes))
 	layouts := make([]classfile.Layout, len(p.Classes))
@@ -91,7 +104,7 @@ func NewWriter(p *classfile.Program, ix *classfile.Index, o *reorder.Order) (*Wr
 		}
 		if !sent[ci] {
 			sent[ci] = true
-			w.units = append(w.units, unit{class: ci, kind: KindGlobal,
+			w.units = append(w.units, unit{class: ci, cls: r.Class, kind: KindGlobal, body: -1,
 				data: serialized[ci][:layouts[ci].GlobalEnd]})
 		}
 		bi := nextBody[ci]
@@ -106,7 +119,7 @@ func NewWriter(p *classfile.Program, ix *classfile.Index, o *reorder.Order) (*Wr
 				r.Class, got, r.Name)
 		}
 		ml := layouts[ci].Methods[bi]
-		w.units = append(w.units, unit{class: ci, kind: KindBody,
+		w.units = append(w.units, unit{class: ci, cls: r.Class, kind: KindBody, body: bi, method: r,
 			data: serialized[ci][ml.BodyStart:ml.DelimEnd]})
 		nextBody[ci]++
 	}
@@ -147,20 +160,84 @@ func (w *Writer) Size() int64 {
 	return n
 }
 
+// UnitInfo describes one planned unit of the stream — the writer's
+// offset table. A client holding the table can demand-fetch any unit out
+// of predicted order with a byte-range request (the live runtime's
+// misprediction correction, the §5.1 demand path applied to the §5.2
+// virtual file).
+type UnitInfo struct {
+	// Class is the unit's class index within the stream.
+	Class int `json:"class"`
+	// ClassName is the class's name.
+	ClassName string `json:"class_name"`
+	// Kind is KindGlobal or KindBody.
+	Kind byte `json:"kind"`
+	// Body is the body index within the class; -1 for global units.
+	Body int `json:"body"`
+	// Method is the delivered method; zero for global units.
+	Method classfile.Ref `json:"method"`
+	// Off is the stream offset of the unit's payload (its 7-byte header
+	// immediately precedes it).
+	Off int64 `json:"off"`
+	// Len is the payload length in bytes, header excluded.
+	Len int `json:"len"`
+}
+
+// TOC returns the per-unit offset table of the planned stream.
+func (w *Writer) TOC() []UnitInfo {
+	toc := make([]UnitInfo, 0, len(w.units))
+	var off int64
+	for _, u := range w.units {
+		off += headerSize
+		toc = append(toc, UnitInfo{
+			Class: u.class, Kind: u.kind, Body: u.body, Method: u.method,
+			ClassName: u.cls, Off: off, Len: len(u.data),
+		})
+		off += int64(len(u.data))
+	}
+	return toc
+}
+
+// MarshalTOC serializes a unit table for transport (the serve command
+// publishes it next to the stream).
+func MarshalTOC(toc []UnitInfo) ([]byte, error) { return json.Marshal(toc) }
+
+// ParseTOC inverts MarshalTOC.
+func ParseTOC(data []byte) ([]UnitInfo, error) {
+	var toc []UnitInfo
+	if err := json.Unmarshal(data, &toc); err != nil {
+		return nil, fmt.Errorf("stream: bad unit table: %w", err)
+	}
+	return toc, nil
+}
+
 // ErrBadStream wraps framing and consistency failures.
 var ErrBadStream = errors.New("stream: malformed stream")
 
 // Loader consumes a unit stream and assembles a runnable program,
 // verifying incrementally. The zero value is not usable; call NewLoader.
+//
+// A Loader is safe for concurrent use: the main stream (Load), demand
+// fetches (FeedDemand), and readers of the incremental link state
+// (Resolver, LoadedClass, UnitsConsumed) may run in separate goroutines.
+// Units delivered twice — a demand-fetched unit later re-arriving in the
+// main stream, or vice versa — are verified and installed exactly once,
+// and fire their events exactly once.
 type Loader struct {
 	mainClass string
 	name      string
 	resolver  verify.Resolver
 
-	classes  map[int]*classfile.Class
-	layouts  map[int]classfile.Layout
-	nextBody map[int]int
-	consumed int64
+	mu         sync.Mutex
+	classes    map[int]*classfile.Class
+	layouts    map[int]classfile.Layout
+	present    map[int][]bool // per class: which body units have arrived
+	ready      map[int]int    // per class: count of arrived bodies
+	mainNext   map[int]int    // per class: next body index in the main stream
+	fromDemand map[int]bool   // class's global unit arrived via FeedDemand
+	mainUnits  int            // units consumed from the main stream
+	consumed   int64          // main-stream bytes, headers included
+	demanded   int64          // demand-fetched payload bytes
 }
 
 // NewLoader builds a loader for a program named name whose entry class
@@ -169,17 +246,21 @@ type Loader struct {
 // analysis); use Resolver() to verify against the classes loaded so far.
 func NewLoader(name, mainClass string, resolver verify.Resolver) *Loader {
 	return &Loader{
-		name:      name,
-		mainClass: mainClass,
-		resolver:  resolver,
-		classes:   make(map[int]*classfile.Class),
-		layouts:   make(map[int]classfile.Layout),
-		nextBody:  make(map[int]int),
+		name:       name,
+		mainClass:  mainClass,
+		resolver:   resolver,
+		classes:    make(map[int]*classfile.Class),
+		layouts:    make(map[int]classfile.Layout),
+		present:    make(map[int][]bool),
+		ready:      make(map[int]int),
+		mainNext:   make(map[int]int),
+		fromDemand: make(map[int]bool),
 	}
 }
 
 // Load consumes the whole stream from r, invoking onEvent (if non-nil)
-// after each verified unit.
+// after each verified unit. Events are delivered outside the loader's
+// lock, so the callback may call back into the loader.
 func (l *Loader) Load(r io.Reader, onEvent func(Event)) error {
 	hdr := make([]byte, headerSize)
 	for {
@@ -198,8 +279,11 @@ func (l *Loader) Load(r io.Reader, onEvent func(Event)) error {
 		if _, err := io.ReadFull(r, payload); err != nil {
 			return fmt.Errorf("%w: reading %d-byte unit: %v", ErrBadStream, n, err)
 		}
+		l.mu.Lock()
 		l.consumed += headerSize + int64(n)
 		ev, err := l.feed(ci, kind, payload)
+		l.mainUnits++
+		l.mu.Unlock()
 		if err != nil {
 			return err
 		}
@@ -211,74 +295,144 @@ func (l *Loader) Load(r io.Reader, onEvent func(Event)) error {
 	}
 }
 
-// feed processes one unit and returns the events it produced.
+// feed processes one main-stream unit and returns the events it
+// produced. Callers hold l.mu.
 func (l *Loader) feed(ci int, kind byte, payload []byte) ([]Event, error) {
 	switch kind {
 	case KindGlobal:
 		if _, dup := l.classes[ci]; dup {
+			if l.fromDemand[ci] {
+				// The demand path already delivered this class's global
+				// data; the main stream's copy is redundant.
+				l.fromDemand[ci] = false
+				return nil, nil
+			}
 			return nil, fmt.Errorf("%w: duplicate global unit for class %d", ErrBadStream, ci)
 		}
-		c, lay, err := classfile.ParseGlobal(payload)
-		if err != nil {
-			return nil, fmt.Errorf("%w: class %d: %v", ErrBadStream, ci, err)
-		}
-		if err := verify.VerifyGlobal(c); err != nil {
-			return nil, err
-		}
-		l.classes[ci] = c
-		l.layouts[ci] = lay
-		return []Event{{Kind: ClassLinked, Class: c.Name, Bytes: l.consumed}}, nil
+		return l.installGlobal(ci, payload)
 
 	case KindBody:
 		c, ok := l.classes[ci]
 		if !ok {
 			return nil, fmt.Errorf("%w: body before global data for class %d", ErrBadStream, ci)
 		}
-		bi := l.nextBody[ci]
+		bi := l.mainNext[ci]
 		if bi >= len(c.Methods) {
 			return nil, fmt.Errorf("%w: class %s: extra body unit", ErrBadStream, c.Name)
 		}
-		m := c.Methods[bi]
-		ml := l.layouts[ci].Methods[bi]
-		localLen := ml.CodeStart - ml.BodyStart
-		codeLen := ml.DelimEnd - classfile.DelimSize - ml.CodeStart
-		if len(payload) != localLen+codeLen+classfile.DelimSize {
-			return nil, fmt.Errorf("%w: class %s method %d: body is %d bytes, header promised %d",
-				ErrBadStream, c.Name, bi, len(payload), localLen+codeLen+classfile.DelimSize)
+		l.mainNext[ci] = bi + 1
+		if l.present[ci][bi] {
+			// Already demand-fetched out of order; skip the re-delivery.
+			return nil, nil
 		}
-		if [classfile.DelimSize]byte(payload[localLen+codeLen:]) != classfile.Delim {
-			return nil, fmt.Errorf("%w: class %s method %d: bad delimiter", ErrBadStream, c.Name, bi)
-		}
-		m.LocalData = payload[:localLen:localLen]
-		m.Code = payload[localLen : localLen+codeLen : localLen+codeLen]
-		if err := verify.VerifyMethod(c, m, l.resolver); err != nil {
-			return nil, err
-		}
-		l.nextBody[ci] = bi + 1
-		ref := classfile.Ref{Class: c.Name, Name: c.MethodName(m)}
-		events := []Event{{Kind: MethodReady, Class: c.Name, Method: ref, Bytes: l.consumed}}
-		if l.nextBody[ci] == len(c.Methods) {
-			events = append(events, Event{Kind: ClassComplete, Class: c.Name, Bytes: l.consumed})
-		}
-		return events, nil
+		return l.installBody(ci, bi, payload)
 
 	default:
 		return nil, fmt.Errorf("%w: unknown unit kind %d", ErrBadStream, kind)
 	}
 }
 
+// FeedDemand installs one demand-fetched unit — a misprediction
+// correction pulled out of predicted order via a byte-range request
+// against the writer's unit table. Body units require the class's global
+// unit first (fetch it through FeedDemand too if the main stream has not
+// delivered it). Units that already arrived are skipped without error,
+// so the demand path may race the main stream freely.
+func (l *Loader) FeedDemand(ci int, kind byte, body int, payload []byte) ([]Event, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.demanded += int64(len(payload))
+	switch kind {
+	case KindGlobal:
+		if _, dup := l.classes[ci]; dup {
+			return nil, nil
+		}
+		ev, err := l.installGlobal(ci, payload)
+		if err == nil {
+			l.fromDemand[ci] = true
+		}
+		return ev, err
+	case KindBody:
+		c, ok := l.classes[ci]
+		if !ok {
+			return nil, fmt.Errorf("stream: demand body for class %d before its global data", ci)
+		}
+		if body < 0 || body >= len(c.Methods) {
+			return nil, fmt.Errorf("stream: demand body %d of class %s out of range [0,%d)", body, c.Name, len(c.Methods))
+		}
+		if l.present[ci][body] {
+			return nil, nil
+		}
+		return l.installBody(ci, body, payload)
+	default:
+		return nil, fmt.Errorf("stream: demand unit of unknown kind %d", kind)
+	}
+}
+
+// installGlobal parses, verifies, and registers a class's global data.
+// Callers hold l.mu.
+func (l *Loader) installGlobal(ci int, payload []byte) ([]Event, error) {
+	c, lay, err := classfile.ParseGlobal(payload)
+	if err != nil {
+		return nil, fmt.Errorf("%w: class %d: %v", ErrBadStream, ci, err)
+	}
+	if err := verify.VerifyGlobal(c); err != nil {
+		return nil, err
+	}
+	l.classes[ci] = c
+	l.layouts[ci] = lay
+	l.present[ci] = make([]bool, len(c.Methods))
+	return []Event{{Kind: ClassLinked, Class: c.Name, Bytes: l.consumed}}, nil
+}
+
+// installBody verifies and installs one method body. Callers hold l.mu
+// and have checked that the body is absent and in range.
+func (l *Loader) installBody(ci, bi int, payload []byte) ([]Event, error) {
+	c := l.classes[ci]
+	m := c.Methods[bi]
+	ml := l.layouts[ci].Methods[bi]
+	localLen := ml.CodeStart - ml.BodyStart
+	codeLen := ml.DelimEnd - classfile.DelimSize - ml.CodeStart
+	if len(payload) != localLen+codeLen+classfile.DelimSize {
+		return nil, fmt.Errorf("%w: class %s method %d: body is %d bytes, header promised %d",
+			ErrBadStream, c.Name, bi, len(payload), localLen+codeLen+classfile.DelimSize)
+	}
+	if [classfile.DelimSize]byte(payload[localLen+codeLen:]) != classfile.Delim {
+		return nil, fmt.Errorf("%w: class %s method %d: bad delimiter", ErrBadStream, c.Name, bi)
+	}
+	m.LocalData = payload[:localLen:localLen]
+	m.Code = payload[localLen : localLen+codeLen : localLen+codeLen]
+	res := l.resolver
+	if lr, ok := res.(loaderResolver); ok && lr.l == l {
+		res = rawResolver{l} // avoid self-deadlock on l.mu
+	}
+	if err := verify.VerifyMethod(c, m, res); err != nil {
+		return nil, err
+	}
+	l.present[ci][bi] = true
+	l.ready[ci]++
+	ref := classfile.Ref{Class: c.Name, Name: c.MethodName(m)}
+	events := []Event{{Kind: MethodReady, Class: c.Name, Method: ref, Bytes: l.consumed}}
+	if l.ready[ci] == len(c.Methods) {
+		events = append(events, Event{Kind: ClassComplete, Class: c.Name, Bytes: l.consumed})
+	}
+	return events, nil
+}
+
 // Program assembles the loaded classes. It fails if any method body is
 // still missing.
 func (l *Loader) Program() (*classfile.Program, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
 	p := &classfile.Program{Name: l.name, MainClass: l.mainClass}
 	for ci := 0; ; ci++ {
 		c, ok := l.classes[ci]
 		if !ok {
 			break
 		}
-		if l.nextBody[ci] != len(c.Methods) {
+		if l.ready[ci] != len(c.Methods) {
 			return nil, fmt.Errorf("stream: class %s has %d of %d method bodies",
-				c.Name, l.nextBody[ci], len(c.Methods))
+				c.Name, l.ready[ci], len(c.Methods))
 		}
 		p.Classes = append(p.Classes, c)
 	}
@@ -291,18 +445,69 @@ func (l *Loader) Program() (*classfile.Program, error) {
 	return p, nil
 }
 
-// Consumed returns the stream bytes processed so far.
-func (l *Loader) Consumed() int64 { return l.consumed }
+// Consumed returns the main-stream bytes processed so far.
+func (l *Loader) Consumed() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.consumed
+}
+
+// DemandBytes returns the payload bytes delivered through FeedDemand.
+func (l *Loader) DemandBytes() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.demanded
+}
+
+// UnitsConsumed returns the number of units the main stream has
+// delivered — the cursor a demand-fetching client compares unit-table
+// indices against to detect out-of-predicted-order needs.
+func (l *Loader) UnitsConsumed() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.mainUnits
+}
+
+// LoadedClass returns the named class if its global data has arrived,
+// else nil.
+func (l *Loader) LoadedClass(name string) *classfile.Class {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for _, c := range l.classes {
+		if c.Name == name {
+			return c
+		}
+	}
+	return nil
+}
 
 // Resolver returns a verify.Resolver answering from the classes whose
 // global data has arrived so far — the incremental link state of the
 // paper's §3.1.1 ("interprocedural dependence analysis is performed as
-// methods are loaded and verified").
+// methods are loaded and verified"). The resolver is safe for concurrent
+// use with the loader.
 func (l *Loader) Resolver() verify.Resolver { return loaderResolver{l} }
 
+// loaderResolver is the exported, locking view of the link state.
 type loaderResolver struct{ l *Loader }
 
 func (r loaderResolver) MethodArity(class, name string) (int, int, bool) {
+	r.l.mu.Lock()
+	defer r.l.mu.Unlock()
+	return rawResolver(r).MethodArity(class, name)
+}
+
+func (r loaderResolver) HasField(class, name string) (bool, bool) {
+	r.l.mu.Lock()
+	defer r.l.mu.Unlock()
+	return rawResolver(r).HasField(class, name)
+}
+
+// rawResolver answers without locking; used internally while l.mu is
+// already held.
+type rawResolver struct{ l *Loader }
+
+func (r rawResolver) MethodArity(class, name string) (int, int, bool) {
 	for _, c := range r.l.classes {
 		if c.Name != class {
 			continue
@@ -316,7 +521,7 @@ func (r loaderResolver) MethodArity(class, name string) (int, int, bool) {
 	return 0, 0, false // class not yet arrived: defer
 }
 
-func (r loaderResolver) HasField(class, name string) (bool, bool) {
+func (r rawResolver) HasField(class, name string) (bool, bool) {
 	for _, c := range r.l.classes {
 		if c.Name != class {
 			continue

@@ -267,3 +267,18 @@ func TestAllBenchmarksStream(t *testing.T) {
 		})
 	}
 }
+
+// TestWriterRejectsTooManyClasses is the regression test for the silent
+// uint16 truncation: the unit header's class index cannot address a
+// 65,536th class, so NewWriter must refuse rather than emit headers that
+// alias class 0.
+func TestWriterRejectsTooManyClasses(t *testing.T) {
+	p := &classfile.Program{Name: "big", Classes: make([]*classfile.Class, MaxClasses+1)}
+	_, err := NewWriter(p, nil, nil)
+	if err == nil {
+		t.Fatal("program with 65536 classes accepted")
+	}
+	if !strings.Contains(err.Error(), "65535") {
+		t.Errorf("error %v does not state the class-index limit", err)
+	}
+}

@@ -246,7 +246,12 @@ func (e *Parallel) Demand(m classfile.Ref, now int64) int64 {
 	e.advanceTo(float64(now))
 	pf, ok := e.byMethod[m]
 	if !ok {
-		panic(fmt.Sprintf("transfer: demand for unknown method %v", m))
+		// A method no schedule or file claims: degrade conservatively the
+		// way the sequential engine does — count a misprediction,
+		// demand-start everything still pending, and wait for the whole
+		// transfer rather than crashing the run.
+		e.mispredicts++
+		return e.demandAll(now)
 	}
 	offset := float64(pf.file.Avail[m])
 
@@ -284,6 +289,44 @@ func (e *Parallel) Demand(m classfile.Ref, now int64) int64 {
 		next := e.nextEvent()
 		if math.IsInf(next, 1) {
 			panic(fmt.Sprintf("transfer: deadlock waiting for %v (class %s state %d)", m, pf.file.Name, pf.state))
+		}
+		e.deliver(next)
+		e.fireAt()
+	}
+	availAt := int64(math.Ceil(e.now - eps))
+	return maxi64(now, availAt)
+}
+
+// demandAll queues every file that has not finished and advances the
+// simulation until the whole program has arrived, returning that cycle.
+func (e *Parallel) demandAll(now int64) int64 {
+	for _, name := range e.order {
+		pf := e.files[name]
+		if pf.state == pWaiting || pf.state == pEligible {
+			if e.slotFree() {
+				e.start(pf)
+			} else {
+				pf.state = pQueued
+				e.queue = append(e.queue, pf)
+			}
+		}
+	}
+	for {
+		done := true
+		for _, name := range e.order {
+			if e.files[name].state != pDone {
+				done = false
+				break
+			}
+		}
+		if done {
+			break
+		}
+		next := e.nextEvent()
+		if math.IsInf(next, 1) {
+			// Cannot happen once everything is started or queued, but
+			// never spin.
+			break
 		}
 		e.deliver(next)
 		e.fireAt()

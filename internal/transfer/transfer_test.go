@@ -511,3 +511,31 @@ func TestInterleavedMonotone(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestParallelDemandUnknownRef is the regression test for the panic on
+// a method ref no schedule or file claims: the engine must degrade
+// conservatively — count a mispredict and wait out the whole transfer —
+// exactly as the sequential engine does, not crash the run.
+func TestParallelDemandUnknownRef(t *testing.T) {
+	files := twoFiles()
+	sched := &Schedule{ClassOrder: []string{"A", "B"}, Deps: map[string][]Dep{}}
+	e, err := NewParallel(sched, files, Link{Name: "t", CyclesPerByte: 10}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2000 bytes at 10 cycles/byte over a single slot: everything has
+	// arrived at cycle 20000.
+	if got := e.Demand(ref("Z", "phantom"), 0); got != 20000 {
+		t.Errorf("unknown ref available at %d, want 20000 (full transfer)", got)
+	}
+	if e.Mispredicts() != 1 {
+		t.Errorf("mispredicts = %d, want 1", e.Mispredicts())
+	}
+	// The engine must remain consistent afterwards.
+	if got := e.Demand(ref("B", "m"), 20000); got != 20000 {
+		t.Errorf("B.m after degrade at %d, want 20000", got)
+	}
+	if got := e.Stats().BytesDelivered; got != 2000 {
+		t.Errorf("delivered %d bytes, want 2000", got)
+	}
+}

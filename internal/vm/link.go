@@ -18,10 +18,17 @@ import (
 
 // Internal pseudo-opcodes produced by linking. They never appear in wire
 // code; LDC is split by constant kind so the interpreter loop stays a flat
-// switch.
+// switch. The xU ops are cross-class references the live (incremental)
+// linker could not resolve when the method was decoded because the
+// target class had not arrived; executing one blocks at the gate until
+// the class links, then patches itself into the resolved op, so the hot
+// path pays nothing after first execution.
 const (
-	xLdcInt bytecode.Op = 200 + iota // a indexes Machine.consts
-	xLdcStr                          // a indexes Machine.strs
+	xLdcInt     bytecode.Op = 200 + iota // a indexes Machine.consts
+	xLdcStr                              // a indexes Machine.strs
+	xInvokeU                             // a indexes LiveLinked.pending
+	xGetStaticU                          // a indexes LiveLinked.pending
+	xPutStaticU                          // a indexes LiveLinked.pending
 )
 
 // linkedInstr is a pre-resolved instruction. Branch targets are
@@ -42,7 +49,12 @@ type linkedMethod struct {
 	nret   int
 	nloc   int
 	nstack int
-	code   []linkedInstr
+	code   []linkedInstr // nil until the body is linked (live mode)
+
+	// owner and def back-reference the class file for lazy linking;
+	// only set by the live linker.
+	owner *classfile.Class
+	def   *classfile.Method
 }
 
 // globalKey identifies a static field.
@@ -59,6 +71,146 @@ type Linked struct {
 	globals map[globalKey]int
 	nglob   int
 	main    classfile.MethodID
+
+	// live is non-nil when the program links incrementally as a stream
+	// delivers it; the machine then routes growth and unresolved-op
+	// patching through it.
+	live *LiveLinked
+}
+
+// linkState interns constants and strings across a program's methods.
+// In live mode it is touched only by the executing goroutine.
+type linkState struct {
+	ln       *Linked
+	constIdx map[int64]int32
+	strIdx   map[string]int32
+}
+
+func newLinkState(ln *Linked) *linkState {
+	return &linkState{ln: ln, constIdx: make(map[int64]int32), strIdx: make(map[string]int32)}
+}
+
+func (ls *linkState) internInt(v int64) int32 {
+	ci, ok := ls.constIdx[v]
+	if !ok {
+		ci = int32(len(ls.ln.consts))
+		ls.ln.consts = append(ls.ln.consts, v)
+		ls.constIdx[v] = ci
+	}
+	return ci
+}
+
+func (ls *linkState) internStr(s string) int32 {
+	si, ok := ls.strIdx[s]
+	if !ok {
+		si = int32(len(ls.ln.strs))
+		ls.ln.strs = append(ls.ln.strs, s)
+		ls.strIdx[s] = si
+	}
+	return si
+}
+
+// opResolver resolves cross-class references while linking one method's
+// code. The eager resolver (Link) fails on anything unresolvable; the
+// live resolver emits patchable pseudo-ops for classes still in flight.
+type opResolver interface {
+	invoke(class, name, desc string, nargs, nret int) (linkedInstr, error)
+	static(op bytecode.Op, class, name string) (linkedInstr, error)
+}
+
+// linkCode decodes and resolves one method body into lm.code: branch
+// targets become instruction indices, LDC splits by constant kind, and
+// calls and static field accesses go through res.
+func linkCode(c *classfile.Class, mm *classfile.Method, lm *linkedMethod, ls *linkState, res opResolver) error {
+	instrs, err := bytecode.Decode(mm.Code)
+	if err != nil {
+		return fmt.Errorf("vm: %v: %w", lm.ref, err)
+	}
+	// Map byte offsets to instruction indices for branch rewriting.
+	off2idx := make(map[int]int, len(instrs))
+	off := 0
+	offs := make([]int, len(instrs))
+	for i, in := range instrs {
+		off2idx[off] = i
+		offs[i] = off
+		off += in.Width()
+	}
+	code := make([]linkedInstr, len(instrs))
+	for i, in := range instrs {
+		li := linkedInstr{op: in.Op, a: in.Arg, width: int8(in.Width())}
+		info := in.Op.Info()
+		switch {
+		case info.Branch:
+			tgt, ok := off2idx[offs[i]+int(in.Arg)]
+			if !ok {
+				return fmt.Errorf("vm: %v: branch at %d to middle of instruction (%d)", lm.ref, offs[i], offs[i]+int(in.Arg))
+			}
+			li.a = int32(tgt)
+		case in.Op == bytecode.LDC:
+			e := c.Const(uint16(in.Arg))
+			switch e.Kind {
+			case classfile.KInteger, classfile.KLong:
+				li.op = xLdcInt
+				li.a = ls.internInt(e.Int)
+			case classfile.KString:
+				li.op = xLdcStr
+				li.a = ls.internStr(c.Utf8(e.A))
+			default:
+				return fmt.Errorf("vm: %v: LDC of %v constant", lm.ref, e.Kind)
+			}
+		case in.Op == bytecode.INVOKE:
+			class, name, desc := c.RefTarget(uint16(in.Arg))
+			na, nr, err := classfile.ParseDescriptor(desc)
+			if err != nil {
+				return fmt.Errorf("vm: %v: %w", lm.ref, err)
+			}
+			ri, err := res.invoke(class, name, desc, na, nr)
+			if err != nil {
+				return fmt.Errorf("vm: %v: %w", lm.ref, err)
+			}
+			ri.width = li.width
+			li = ri
+		case in.Op == bytecode.GETSTATIC || in.Op == bytecode.PUTSTATIC:
+			class, name, _ := c.RefTarget(uint16(in.Arg))
+			ri, err := res.static(in.Op, class, name)
+			if err != nil {
+				return fmt.Errorf("vm: %v: %w", lm.ref, err)
+			}
+			ri.width = li.width
+			li = ri
+		}
+		code[i] = li
+	}
+	lm.code = code
+	return nil
+}
+
+// eagerResolver resolves against a complete, indexed program; anything
+// unresolvable is a link error, mirroring the JVM's resolution phase.
+type eagerResolver struct {
+	ln *Linked
+	ix *classfile.Index
+}
+
+func (r eagerResolver) invoke(class, name, desc string, na, nr int) (linkedInstr, error) {
+	callee := r.ix.ID(classfile.Ref{Class: class, Name: name})
+	if callee == classfile.NoMethod {
+		return linkedInstr{}, fmt.Errorf("call to undefined %s.%s", class, name)
+	}
+	cm := r.ix.Method(callee)
+	if cm.NArgs != na || cm.NRet != nr {
+		return linkedInstr{}, fmt.Errorf("call to %s.%s with descriptor %q, target has (%d)->%d",
+			class, name, desc, cm.NArgs, cm.NRet)
+	}
+	return linkedInstr{op: bytecode.INVOKE, a: int32(callee), nargs: int8(na), nret: int8(nr)}, nil
+}
+
+func (r eagerResolver) static(op bytecode.Op, class, name string) (linkedInstr, error) {
+	slot, ok := r.ln.globals[globalKey{class, name}]
+	if !ok {
+		return linkedInstr{}, fmt.Errorf("access to undefined field %s.%s", class, name)
+	}
+	return linkedInstr{op: op, a: int32(slot)}, nil
 }
 
 // Link resolves a program for execution. All constant-pool references are
@@ -83,8 +235,8 @@ func Link(p *classfile.Program) (*Linked, error) {
 		}
 	}
 
-	constIdx := make(map[int64]int32)
-	strIdx := make(map[string]int32)
+	ls := newLinkState(ln)
+	res := eagerResolver{ln: ln, ix: ix}
 
 	for id := classfile.MethodID(0); int(id) < ix.Len(); id++ {
 		c := ix.Class(id)
@@ -97,82 +249,8 @@ func Link(p *classfile.Program) (*Linked, error) {
 			nloc:   int(m.MaxLocals),
 			nstack: int(m.MaxStack),
 		}
-		instrs, err := bytecode.Decode(m.Code)
-		if err != nil {
-			return nil, fmt.Errorf("vm: %v: %w", lm.ref, err)
-		}
-		// Map byte offsets to instruction indices for branch rewriting.
-		off2idx := make(map[int]int, len(instrs))
-		off := 0
-		offs := make([]int, len(instrs))
-		for i, in := range instrs {
-			off2idx[off] = i
-			offs[i] = off
-			off += in.Width()
-		}
-		lm.code = make([]linkedInstr, len(instrs))
-		for i, in := range instrs {
-			li := linkedInstr{op: in.Op, a: in.Arg, width: int8(in.Width())}
-			info := in.Op.Info()
-			switch {
-			case info.Branch:
-				tgt, ok := off2idx[offs[i]+int(in.Arg)]
-				if !ok {
-					return nil, fmt.Errorf("vm: %v: branch at %d to middle of instruction (%d)", lm.ref, offs[i], offs[i]+int(in.Arg))
-				}
-				li.a = int32(tgt)
-			case in.Op == bytecode.LDC:
-				e := c.Const(uint16(in.Arg))
-				switch e.Kind {
-				case classfile.KInteger, classfile.KLong:
-					li.op = xLdcInt
-					ci, ok := constIdx[e.Int]
-					if !ok {
-						ci = int32(len(ln.consts))
-						ln.consts = append(ln.consts, e.Int)
-						constIdx[e.Int] = ci
-					}
-					li.a = ci
-				case classfile.KString:
-					s := c.Utf8(e.A)
-					li.op = xLdcStr
-					si, ok := strIdx[s]
-					if !ok {
-						si = int32(len(ln.strs))
-						ln.strs = append(ln.strs, s)
-						strIdx[s] = si
-					}
-					li.a = si
-				default:
-					return nil, fmt.Errorf("vm: %v: LDC of %v constant", lm.ref, e.Kind)
-				}
-			case in.Op == bytecode.INVOKE:
-				class, name, desc := c.RefTarget(uint16(in.Arg))
-				callee := ix.ID(classfile.Ref{Class: class, Name: name})
-				if callee == classfile.NoMethod {
-					return nil, fmt.Errorf("vm: %v: call to undefined %s.%s", lm.ref, class, name)
-				}
-				na, nr, err := classfile.ParseDescriptor(desc)
-				if err != nil {
-					return nil, fmt.Errorf("vm: %v: %w", lm.ref, err)
-				}
-				cm := ix.Method(callee)
-				if cm.NArgs != na || cm.NRet != nr {
-					return nil, fmt.Errorf("vm: %v: call to %s.%s with descriptor %q, target has (%d)->%d",
-						lm.ref, class, name, desc, cm.NArgs, cm.NRet)
-				}
-				li.a = int32(callee)
-				li.nargs = int8(na)
-				li.nret = int8(nr)
-			case in.Op == bytecode.GETSTATIC || in.Op == bytecode.PUTSTATIC:
-				class, name, _ := c.RefTarget(uint16(in.Arg))
-				slot, ok := ln.globals[globalKey{class, name}]
-				if !ok {
-					return nil, fmt.Errorf("vm: %v: access to undefined field %s.%s", lm.ref, class, name)
-				}
-				li.a = int32(slot)
-			}
-			lm.code[i] = li
+		if err := linkCode(c, m, lm, ls, res); err != nil {
+			return nil, err
 		}
 		ln.methods = append(ln.methods, lm)
 	}

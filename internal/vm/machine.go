@@ -69,7 +69,12 @@ var ErrMaxSteps = errors.New("vm: step budget exhausted")
 
 // Machine holds the state and instrumentation results of one run.
 type Machine struct {
-	ln      *Linked
+	ln *Linked
+	// meths is the machine's private view of ln.methods. In live mode
+	// the loader goroutine appends to ln.methods under the live lock, so
+	// the hot loop reads this snapshot and refreshes it (under the lock)
+	// only at resolution points where new methods can become reachable.
+	meths   []*linkedMethod
 	globals []slotv
 	prof    Profile
 	trace   []Segment
@@ -88,14 +93,23 @@ type frame struct {
 // Run links nothing new — it executes the already-linked program once and
 // returns the finished machine with its profile (and trace, if enabled).
 func (ln *Linked) Run(opts Options) (*Machine, error) {
+	// In live mode the loader may still be appending classes; size the
+	// machine from a consistent snapshot and grow on demand later.
+	if ln.live != nil {
+		ln.live.mu.Lock()
+	}
 	m := &Machine{
 		ln:      ln,
+		meths:   ln.methods[:len(ln.methods):len(ln.methods)],
 		globals: make([]slotv, ln.nglob),
 		invoked: make([]bool, len(ln.methods)),
 		covered: make([][]bool, len(ln.methods)),
 	}
 	m.prof.MethodInstrs = make([]int64, len(ln.methods))
 	m.prof.CoveredBytes = make([]int, len(ln.methods))
+	if ln.live != nil {
+		ln.live.mu.Unlock()
+	}
 	err := m.run(opts)
 	if err != nil {
 		return m, err
@@ -117,7 +131,7 @@ func (m *Machine) run(opts Options) error {
 		maxFrames = 65536
 	}
 
-	entry := m.ln.methods[m.ln.main]
+	entry := m.meths[m.ln.main]
 	if len(opts.Args) != entry.nargs {
 		return fmt.Errorf("vm: main takes %d args, got %d", entry.nargs, len(opts.Args))
 	}
@@ -139,7 +153,9 @@ func (m *Machine) run(opts Options) error {
 	fr.stop = entry.nloc
 	sp := fr.stop
 
-	m.firstUse(entry.id)
+	if err := m.firstUse(entry.id); err != nil {
+		return err
+	}
 	steps := int64(0)
 
 	flushSeg := func(f *frame) {
@@ -314,7 +330,10 @@ func (m *Machine) run(opts Options) error {
 			if len(frames) >= maxFrames {
 				return m.trap(fr, "call depth exceeds %d frames", maxFrames)
 			}
-			callee := m.ln.methods[in.a]
+			if int(in.a) >= len(m.meths) {
+				m.growTo(int(in.a) + 1)
+			}
+			callee := m.meths[in.a]
 			flushSeg(fr)
 			base := sp - int(in.nargs)
 			frames = append(frames, frame{
@@ -330,7 +349,9 @@ func (m *Machine) run(opts Options) error {
 				stack[i] = slotv{}
 			}
 			sp = fr.stop
-			m.firstUse(callee.id)
+			if err := m.firstUse(callee.id); err != nil {
+				return err
+			}
 
 		case bytecode.RETURN, bytecode.IRETURN:
 			flushSeg(fr)
@@ -353,10 +374,18 @@ func (m *Machine) run(opts Options) error {
 			}
 
 		case bytecode.GETSTATIC:
+			// Live mode: the slot may belong to a class that arrived
+			// after the machine sized its globals array.
+			for int(in.a) >= len(m.globals) {
+				m.globals = append(m.globals, slotv{})
+			}
 			grow(sp + 1)
 			stack[sp] = m.globals[in.a]
 			sp++
 		case bytecode.PUTSTATIC:
+			for int(in.a) >= len(m.globals) {
+				m.globals = append(m.globals, slotv{})
+			}
 			sp--
 			m.globals[in.a] = stack[sp]
 
@@ -400,16 +429,94 @@ func (m *Machine) run(opts Options) error {
 			return nil
 
 		default:
+			if m.ln.live != nil && in.op >= xInvokeU && in.op <= xPutStaticU {
+				// First execution of a reference the live linker could
+				// not resolve at decode time: block until the target
+				// class links, patch the instruction in place, and rerun
+				// it. The decrements undo this iteration's accounting so
+				// the patched op counts exactly once.
+				ri, err := m.resolveOp(fr, in)
+				if err != nil {
+					return err
+				}
+				fr.m.code[fr.pc-1] = ri
+				fr.pc--
+				steps--
+				m.prof.MethodInstrs[fr.m.id]--
+				continue
+			}
 			return m.trap(fr, "bad opcode %d", byte(in.op))
 		}
 	}
 }
 
-func (m *Machine) firstUse(id classfile.MethodID) {
-	if !m.invoked[id] {
-		m.invoked[id] = true
-		m.prof.FirstUse = append(m.prof.FirstUse, id)
-		m.covered[id] = make([]bool, len(m.ln.methods[id].code))
+// resolveOp resolves one unresolved pseudo-op. It blocks at the gate
+// until the referenced class is linked, then looks the target up under
+// the live lock and refreshes the machine's snapshots.
+func (m *Machine) resolveOp(fr *frame, in linkedInstr) (linkedInstr, error) {
+	lv := m.ln.live
+	p := lv.pendingAt(in.a)
+	if err := lv.gate.AwaitClass(p.class); err != nil {
+		return linkedInstr{}, err
+	}
+	lv.mu.Lock()
+	defer lv.mu.Unlock()
+	var ri linkedInstr
+	var err error
+	if in.op == xInvokeU {
+		ri, err = lv.tryInvoke(p)
+		m.meths = m.ln.methods[:len(m.ln.methods):len(m.ln.methods)]
+	} else {
+		ri, err = lv.tryStatic(in.op, p)
+		for err == nil && len(m.globals) <= int(ri.a) {
+			m.globals = append(m.globals, slotv{})
+		}
+	}
+	if err != nil {
+		return linkedInstr{}, m.trap(fr, "%v", err)
+	}
+	ri.width = in.width
+	return ri, nil
+}
+
+func (m *Machine) firstUse(id classfile.MethodID) error {
+	if int(id) >= len(m.invoked) {
+		m.growTo(int(id) + 1)
+	}
+	if m.invoked[id] {
+		return nil
+	}
+	lm := m.meths[id]
+	if lv := m.ln.live; lv != nil {
+		// Non-strict gate: block until the method's bytes (and delimiter)
+		// have arrived and verified, then link its body lazily.
+		if err := lv.gate.AwaitMethod(lm.ref); err != nil {
+			return err
+		}
+		if err := lv.ensureLink(lm); err != nil {
+			return err
+		}
+	}
+	m.invoked[id] = true
+	m.prof.FirstUse = append(m.prof.FirstUse, id)
+	m.covered[id] = make([]bool, len(lm.code))
+	return nil
+}
+
+// growTo extends the per-method instrumentation arrays (and, in live
+// mode, the method snapshot) to cover ids below n. The eager linker
+// sizes everything up front, so this only fires in live mode.
+func (m *Machine) growTo(n int) {
+	if lv := m.ln.live; lv != nil {
+		lv.mu.Lock()
+		m.meths = m.ln.methods[:len(m.ln.methods):len(m.ln.methods)]
+		lv.mu.Unlock()
+	}
+	for len(m.invoked) < n {
+		m.invoked = append(m.invoked, false)
+		m.covered = append(m.covered, nil)
+		m.prof.MethodInstrs = append(m.prof.MethodInstrs, 0)
+		m.prof.CoveredBytes = append(m.prof.CoveredBytes, 0)
 	}
 }
 
@@ -422,11 +529,27 @@ func (m *Machine) Trace() []Segment { return m.trace }
 // Steps returns the dynamic instruction count.
 func (m *Machine) Steps() int64 { return m.prof.TotalInstrs }
 
+// lookupGlobal resolves a static field to its slot, locking the live
+// link state when the program is still growing.
+func (m *Machine) lookupGlobal(class, field string) (int, bool) {
+	if lv := m.ln.live; lv != nil {
+		lv.mu.Lock()
+		defer lv.mu.Unlock()
+	}
+	slot, ok := m.ln.globals[globalKey{class, field}]
+	return slot, ok
+}
+
 // Global reads static field class.field as an integer.
 func (m *Machine) Global(class, field string) (int64, error) {
-	slot, ok := m.ln.globals[globalKey{class, field}]
+	slot, ok := m.lookupGlobal(class, field)
 	if !ok {
 		return 0, fmt.Errorf("vm: no field %s.%s", class, field)
+	}
+	if slot >= len(m.globals) {
+		// Field arrived after the run ended without ever being touched;
+		// its value is the zero it would have held.
+		return 0, nil
 	}
 	return m.globals[slot].i, nil
 }
@@ -434,9 +557,12 @@ func (m *Machine) Global(class, field string) (int64, error) {
 // GlobalArray reads static field class.field as an array (nil if the
 // field holds an integer or was never assigned an array).
 func (m *Machine) GlobalArray(class, field string) ([]int64, error) {
-	slot, ok := m.ln.globals[globalKey{class, field}]
+	slot, ok := m.lookupGlobal(class, field)
 	if !ok {
 		return nil, fmt.Errorf("vm: no field %s.%s", class, field)
+	}
+	if slot >= len(m.globals) {
+		return nil, nil
 	}
 	return m.globals[slot].arr, nil
 }

@@ -41,11 +41,14 @@
 package nonstrict
 
 import (
+	"context"
+
 	"nonstrict/internal/apps"
 	"nonstrict/internal/cfg"
 	"nonstrict/internal/classfile"
 	"nonstrict/internal/datapart"
 	"nonstrict/internal/experiments"
+	"nonstrict/internal/live"
 	"nonstrict/internal/reorder"
 	"nonstrict/internal/restructure"
 	"nonstrict/internal/sim"
@@ -270,4 +273,25 @@ func NewStreamWriter(rp *Program, ix *Index, o *Order) (*StreamWriter, error) {
 // NewStreamLoader builds a non-strict loader for the named program.
 func NewStreamLoader(name, mainClass string) *StreamLoader {
 	return stream.NewLoader(name, mainClass, nil)
+}
+
+// Live overlapped execution: run a program while its stream arrives,
+// blocking at a method-availability gate on first invocations and
+// demand-fetching methods wanted out of predicted order (the measured
+// counterpart of the simulator's overlap predictions).
+type (
+	// LiveOptions configures one overlapped run.
+	LiveOptions = live.Options
+	// LiveStats is the measured outcome: first-invocation latencies,
+	// stall time, overlap, and demand-fetch counters.
+	LiveStats = live.Stats
+	// LiveWait records one first-invocation gate crossing.
+	LiveWait = live.Wait
+	// UnitInfo locates one stream unit for byte-range demand fetches.
+	UnitInfo = stream.UnitInfo
+)
+
+// RunLive executes the program served at opts.URL while it streams in.
+func RunLive(ctx context.Context, opts LiveOptions) (*Machine, *LiveStats, error) {
+	return live.Run(ctx, opts)
 }
