@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race lint bench-smoke live-smoke ci clean
+.PHONY: all build test race lint bench-smoke live-smoke chaos ci clean
 
 all: build
 
@@ -30,7 +30,17 @@ bench-smoke:
 live-smoke:
 	$(GO) test -run 'TestLive|TestServeAndRunRemote' -v ./internal/live ./cmd/nonstrict
 
-ci: build lint test race bench-smoke live-smoke
+# The chaos gate, under -race: seeded fault schedules — silent
+# corruption, mid-body stalls, truncation, flaky unit tables, garbage
+# Range replies, dead streams — must end in output identical to the
+# fault-free run or a clean error, never a hang, with the corruption
+# and repair counters accounted. Includes the seeded fuzz corpora for
+# the stream header/unit parser and the unit table.
+chaos:
+	$(GO) test -race -run 'TestChaos|TestGateDeadline|TestGateTimeout|TestStreamDeath|TestFault|TestRepair|TestDemandHeals|TestParseTOC|TestServeAndRunRemoteChaos|Fuzz' \
+		-v ./internal/stream ./internal/live ./cmd/nonstrict
+
+ci: build lint test race bench-smoke live-smoke chaos
 
 clean:
 	$(GO) clean ./...

@@ -2,7 +2,9 @@ package main
 
 import (
 	"context"
+	"io"
 	"net"
+	"net/http"
 	"strings"
 	"testing"
 
@@ -219,6 +221,100 @@ func TestServeAndRunRemote(t *testing.T) {
 	}
 	if err := captureErr(t, "run-remote", "http://"+ln.Addr().String()+"/nope", "-name", "Hanoi"); err == nil {
 		t.Error("run-remote of missing path succeeded")
+	}
+}
+
+// chaosPeriod picks a CorruptEvery period that deterministically flips
+// exactly one payload byte of the served stream (the arithmetic is
+// shared with internal/live's chaos tests): the target unit sits in the
+// stream's second half and every unit is shorter than the period, so
+// repair and demand Range replies come back clean.
+func chaosPeriod(t *testing.T, base string) int64 {
+	t.Helper()
+	get := func(path string) []byte {
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		b, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	data := get("/app")
+	toc, err := stream.ParseTOC(get("/app.toc"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxLen := 0
+	for _, u := range toc {
+		if u.Len > maxLen {
+			maxLen = u.Len
+		}
+	}
+	half := int64(len(data)) / 2
+	for _, u := range toc {
+		period := u.Off + int64(u.Len)/2 + 1
+		if u.Off >= half && period > int64(maxLen) && u.Len >= 2 {
+			return period
+		}
+	}
+	t.Fatal("no unit in the stream's second half to target")
+	return 0
+}
+
+// TestServeAndRunRemoteChaos: the CLI acceptance scenario for the chaos
+// harness — serve under a seeded fault schedule (silent corruption plus
+// a flaky unit table and garbage Range replies), execute overlapped with
+// a gate deadline, and require identical output with the corruption and
+// repair counters visible in the report.
+func TestServeAndRunRemoteChaos(t *testing.T) {
+	// A clean server first, to measure the stream and pick the
+	// deterministic corruption target.
+	clean, _, err := newServer("Hanoi", 0, stream.Fault{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go clean.Serve(cln)
+	period := chaosPeriod(t, "http://"+cln.Addr().String())
+	clean.Close()
+
+	srv, _, err := newServer("Hanoi", 0, stream.Fault{
+		CorruptEvery:      period,
+		GarbageRangeEvery: 3,
+		FlakyTOC:          1,
+		Seed:              42,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(ln)
+	defer srv.Close()
+
+	url := "http://" + ln.Addr().String() + "/app"
+	out := capture(t, "run-remote", url, "-name", "Hanoi",
+		"-backoff", "1ms", "-latencies", "0", "-gate-timeout", "15s")
+	if !strings.Contains(out, "self-check: ok") {
+		t.Errorf("chaos run-remote output:\n%s", out)
+	}
+	if !strings.Contains(out, "integrity:") {
+		t.Errorf("run-remote output missing the integrity report:\n%s", out)
+	}
+	if strings.Contains(out, "integrity: 0 corrupt units") {
+		t.Errorf("corruption schedule ran but no corrupt units reported:\n%s", out)
+	}
+	if strings.Contains(out, "0 repaired") {
+		t.Errorf("corrupt unit healed but no repair reported:\n%s", out)
 	}
 }
 

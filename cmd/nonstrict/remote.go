@@ -29,8 +29,9 @@ func cmdRunRemote(ctx context.Context, args []string, out io.Writer) error {
 	backoff := fs.Duration("backoff", 100*time.Millisecond, "base retry backoff (doubles per failure, capped)")
 	stats := fs.Bool("stats", false, "print the simulator's predicted overlap next to the measured run")
 	nlat := fs.Int("latencies", 10, "first-invocation latencies to print (0 = none, -1 = all)")
+	gate := fs.Duration("gate-timeout", 0, "availability-gate deadline per first invocation (0 = default 30s, negative = no deadline)")
 	if len(args) == 0 || strings.HasPrefix(args[0], "-") {
-		return fmt.Errorf("run-remote: usage: nonstrict run-remote <url> -name <benchmark> [-train] [-stats] [-latencies N] [-timeout D] [-retries N] [-backoff D]")
+		return fmt.Errorf("run-remote: usage: nonstrict run-remote <url> -name <benchmark> [-train] [-stats] [-latencies N] [-timeout D] [-retries N] [-backoff D] [-gate-timeout D]")
 	}
 	url := args[0]
 	if err := fs.Parse(args[1:]); err != nil {
@@ -50,12 +51,13 @@ func cmdRunRemote(ctx context.Context, args []string, out io.Writer) error {
 		BackoffBase:    *backoff,
 	}
 	m, st, err := live.Run(ctx, live.Options{
-		URL:       url,
-		TOCURL:    url + ".toc",
-		Name:      app.Name,
-		MainClass: app.IR.Main,
-		Client:    client,
-		Run:       nonstrict.RunOptions{Args: app.Args(*train)},
+		URL:         url,
+		TOCURL:      url + ".toc",
+		Name:        app.Name,
+		MainClass:   app.IR.Main,
+		Client:      client,
+		GateTimeout: *gate,
+		Run:         nonstrict.RunOptions{Args: app.Args(*train)},
 	})
 	if err != nil {
 		return err
@@ -75,6 +77,12 @@ func cmdRunRemote(ctx context.Context, args []string, out io.Writer) error {
 		st.DemandFetches, st.Mispredicts, st.DemandBytes, st.StreamBytes)
 	fmt.Fprintf(out, "transfer: %d bytes in %d requests (%d retries, %d resumes)\n",
 		st.Transfer.BytesTransferred, st.Transfer.Requests, st.Transfer.Retries, st.Transfer.Resumes)
+	fmt.Fprintf(out, "integrity: %d corrupt units, %d repaired, %d quarantined, %d re-fetches; stream digest verified: %v\n",
+		st.Integrity.CorruptUnits, st.Integrity.Repaired, st.Integrity.Outstanding,
+		st.Refetches, st.Integrity.DigestVerified)
+	if st.Degraded != "" {
+		fmt.Fprintf(out, "degraded: %s (finished by demand-fetching every remaining unit)\n", st.Degraded)
+	}
 
 	if *nlat != 0 {
 		n := len(st.Waits)

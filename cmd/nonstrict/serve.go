@@ -19,16 +19,25 @@ import (
 // cmdServe publishes a benchmark as an interleaved virtual file over
 // HTTP, restructured into static first-use order — a minimal non-strict
 // code server. The stream is served with Range support so a resuming
-// client can continue after a dropped connection, and the -drop-every /
-// -latency flags inject transport faults for demonstrating exactly that.
+// client can continue after a dropped connection, and the chaos flags
+// (-drop-every, -corrupt-every, -stall-after, -truncate-after,
+// -garbage-range-every, -flaky-toc, -latency) inject a deterministic,
+// seeded fault schedule for demonstrating exactly that.
 func cmdServe(ctx context.Context, args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
 	addr := fs.String("addr", "127.0.0.1:0", "listen address")
 	rate := fs.Int("rate", 0, "throttle to N bytes/second (0 = unthrottled)")
 	dropEvery := fs.Int64("drop-every", 0, "drop the connection after every N body bytes (0 = never)")
 	latency := fs.Duration("latency", 0, "added latency before each body write")
+	corruptEvery := fs.Int64("corrupt-every", 0, "flip a seeded bit in every Nth body byte (0 = never)")
+	stallAfter := fs.Int64("stall-after", 0, "stall the response after N body bytes (0 = never)")
+	stallFor := fs.Duration("stall-for", 0, "bound each stall (0 = stall until the client gives up)")
+	truncateAfter := fs.Int64("truncate-after", 0, "end the response cleanly after N body bytes (0 = never)")
+	garbageRangeEvery := fs.Int64("garbage-range-every", 0, "answer every Nth Range request with a bogus 206 (0 = never)")
+	flakyTOC := fs.Int("flaky-toc", 0, "fail the first N unit-table requests with a 503 (0 = never)")
+	seed := fs.Uint64("seed", 0, "seed for corruption masks and garbage bytes (0 = fixed default)")
 	if len(args) == 0 || strings.HasPrefix(args[0], "-") {
-		return fmt.Errorf("serve: usage: nonstrict serve <name> [-addr host:port] [-rate N] [-drop-every N] [-latency D]")
+		return fmt.Errorf("serve: usage: nonstrict serve <name> [-addr host:port] [-rate N] [-drop-every N] [-latency D] [-corrupt-every N] [-stall-after N] [-stall-for D] [-truncate-after N] [-garbage-range-every N] [-flaky-toc N] [-seed N]")
 	}
 	name := args[0]
 	if err := fs.Parse(args[1:]); err != nil {
@@ -38,14 +47,26 @@ func cmdServe(ctx context.Context, args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
-	fault := stream.Fault{DropEvery: *dropEvery, Latency: *latency}
+	fault := stream.Fault{
+		DropEvery:         *dropEvery,
+		Latency:           *latency,
+		CorruptEvery:      *corruptEvery,
+		StallAfter:        *stallAfter,
+		StallFor:          *stallFor,
+		TruncateAfter:     *truncateAfter,
+		GarbageRangeEvery: *garbageRangeEvery,
+		FlakyTOC:          *flakyTOC,
+		Seed:              *seed,
+	}
 	srv, size, err := newServer(name, *rate, fault)
 	if err != nil {
 		return err
 	}
 	fmt.Fprintf(out, "serving %s (%d stream bytes) at http://%s/app\n", name, size, ln.Addr())
 	if fault.Enabled() {
-		fmt.Fprintf(out, "fault injection: drop-every=%d latency=%v\n", fault.DropEvery, fault.Latency)
+		fmt.Fprintf(out, "fault injection: drop-every=%d corrupt-every=%d stall-after=%d/%v truncate-after=%d garbage-range-every=%d flaky-toc=%d latency=%v seed=%#x\n",
+			fault.DropEvery, fault.CorruptEvery, fault.StallAfter, fault.StallFor,
+			fault.TruncateAfter, fault.GarbageRangeEvery, fault.FlakyTOC, fault.Latency, fault.Seed)
 	}
 	errc := make(chan error, 1)
 	go func() { errc <- srv.Serve(ln) }()

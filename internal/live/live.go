@@ -15,6 +15,7 @@ package live
 import (
 	"bytes"
 	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"time"
@@ -23,6 +24,17 @@ import (
 	"nonstrict/internal/stream"
 	"nonstrict/internal/vm"
 )
+
+// DefaultGateTimeout bounds each availability-gate wait when Options
+// leaves GateTimeout zero. A transfer that stops making progress —
+// stalled connection, endlessly trickling retries — would otherwise park
+// the VM forever; the deadline turns that hang into a clean
+// per-invocation error.
+const DefaultGateTimeout = 30 * time.Second
+
+// ErrGateTimeout marks a gate wait that exceeded its deadline: the
+// method or class never became available within Options.GateTimeout.
+var ErrGateTimeout = errors.New("live: gate deadline exceeded")
 
 // Options configures one overlapped run.
 type Options struct {
@@ -36,6 +48,10 @@ type Options struct {
 	MainClass string
 	// Client transfers the stream; nil uses a default FetchClient.
 	Client *stream.FetchClient
+	// GateTimeout bounds each availability-gate wait (AwaitMethod /
+	// AwaitClass) and the post-execution stream drain. Zero means
+	// DefaultGateTimeout; negative disables the deadline entirely.
+	GateTimeout time.Duration
 	// Run is passed to the VM.
 	Run vm.Options
 }
@@ -76,6 +92,16 @@ type Stats struct {
 	Waits []Wait
 	// Classes and Methods count what actually arrived and linked.
 	Classes, Methods int
+	// Integrity snapshots the loader's verification counters: corrupt
+	// units detected, repair attempts, repaired, quarantined.
+	Integrity stream.IntegrityStats
+	// Refetches counts byte-range re-fetches issued to replace payloads
+	// that arrived corrupt (repair-hook fetches plus demand retries).
+	Refetches int
+	// Degraded holds the main stream's terminal error when it failed
+	// permanently mid-run and the remaining units were demand-fetched
+	// instead; empty when the stream completed normally.
+	Degraded string
 }
 
 // Overlap is the fraction of the execution window not spent stalled —
@@ -107,13 +133,15 @@ type runtime struct {
 	demanded    map[classfile.Ref]bool // method demand launched
 	classDem    map[string]bool        // class-global demand launched
 	err         error
-	done        bool // main stream fully consumed (or failed)
+	degraded    error // main stream died but the demand path can finish the run
+	done        bool  // main stream fully consumed (or failed)
 	transferEnd time.Duration
 
 	waits       []Wait
 	stall       time.Duration
 	demands     int
 	mispredicts int
+	refetches   int
 }
 
 // Run executes the program at opts.URL while it streams in, returning
@@ -146,6 +174,10 @@ func Run(ctx context.Context, opts Options) (*vm.Machine, *Stats, error) {
 			return nil, nil, err
 		}
 		rt.toc = toc
+		// With a unit table in hand, a corrupt main-stream unit can be
+		// healed by re-fetching just its bytes instead of failing the
+		// transfer.
+		rt.loader.Repair = rt.repairUnit
 	}
 
 	tctx, tcancel := context.WithCancel(ctx)
@@ -163,7 +195,20 @@ func Run(ctx context.Context, opts Options) (*vm.Machine, *Stats, error) {
 	if runErr != nil {
 		tcancel() // abandon whatever is still streaming
 	}
-	<-transferDone
+	// Bound the post-execution drain: a tail that stalls without failing
+	// must not hang the run after execution already finished.
+	if d := gateTimeout(opts.GateTimeout); d > 0 {
+		drain := time.NewTimer(d)
+		select {
+		case <-transferDone:
+			drain.Stop()
+		case <-drain.C:
+			tcancel()
+			<-transferDone
+		}
+	} else {
+		<-transferDone
+	}
 
 	rt.mu.Lock()
 	st := &Stats{
@@ -178,6 +223,11 @@ func Run(ctx context.Context, opts Options) (*vm.Machine, *Stats, error) {
 		Waits:         rt.waits,
 		Classes:       rt.lv.Classes(),
 		Methods:       rt.lv.Methods(),
+		Integrity:     rt.loader.Integrity(),
+		Refetches:     rt.refetches,
+	}
+	if rt.degraded != nil {
+		st.Degraded = rt.degraded.Error()
 	}
 	rt.mu.Unlock()
 	if len(st.Waits) > 0 {
@@ -188,6 +238,10 @@ func Run(ctx context.Context, opts Options) (*vm.Machine, *Stats, error) {
 
 // transferLoop streams the virtual file into the loader until EOF or
 // failure, then marks the runtime done and wakes every gate waiter.
+// When the stream dies with a transport or integrity failure and a unit
+// table is available, the failure degrades instead of killing the run:
+// the remaining units are simply demand-fetched — strict fetching of
+// whatever non-strict delivery could not provide.
 func (rt *runtime) transferLoop(ctx context.Context) {
 	err := func() error {
 		body, err := rt.client.Open(ctx, rt.opts.URL)
@@ -204,11 +258,28 @@ func (rt *runtime) transferLoop(ctx context.Context) {
 	rt.mu.Lock()
 	rt.done = true
 	rt.transferEnd = time.Since(rt.start)
-	if err != nil && rt.err == nil && ctx.Err() == nil {
-		rt.err = fmt.Errorf("live: transfer: %w", err)
+	if err != nil && ctx.Err() == nil {
+		if rt.toc != nil && degradable(err) {
+			if rt.degraded == nil {
+				rt.degraded = fmt.Errorf("live: transfer: %w", err)
+			}
+		} else if rt.err == nil {
+			rt.err = fmt.Errorf("live: transfer: %w", err)
+		}
 	}
 	rt.mu.Unlock()
 	rt.cond.Broadcast()
+}
+
+// degradable reports whether a stream failure leaves the demand path
+// usable: the link or the bytes failed, but the unit table still
+// describes every unit, so byte-range fetches can finish the program.
+// Anything else (a verification failure, a malformed class) is a
+// property of the program itself and re-fetching cannot fix it.
+func degradable(err error) bool {
+	return errors.Is(err, stream.ErrFetchFailed) ||
+		errors.Is(err, stream.ErrBadStream) ||
+		errors.Is(err, stream.ErrStreamIntegrity)
 }
 
 // handleEvent publishes one loader event to the gate. AddClass runs
@@ -247,12 +318,62 @@ func (rt *runtime) fail(err error) {
 	rt.cond.Broadcast()
 }
 
+// gateTimeout resolves an Options.GateTimeout value: zero means the
+// default, negative disables the deadline.
+func gateTimeout(d time.Duration) time.Duration {
+	if d == 0 {
+		return DefaultGateTimeout
+	}
+	if d < 0 {
+		return 0
+	}
+	return d
+}
+
+// gateDeadline returns the absolute deadline for one gate wait, or the
+// zero time when deadlines are disabled.
+func (rt *runtime) gateDeadline() time.Time {
+	if d := gateTimeout(rt.opts.GateTimeout); d > 0 {
+		return time.Now().Add(d)
+	}
+	return time.Time{}
+}
+
+// gateWait parks on the gate condition until the next broadcast or the
+// deadline, whichever comes first; it reports only whether the deadline
+// has passed (the caller re-checks its predicate either way). Caller
+// holds rt.mu.
+func (rt *runtime) gateWait(deadline time.Time) (timedOut bool) {
+	if deadline.IsZero() {
+		rt.cond.Wait()
+		return false
+	}
+	wait := time.Until(deadline)
+	if wait <= 0 {
+		return true
+	}
+	t := time.AfterFunc(wait, func() {
+		// The empty critical section orders the broadcast after the
+		// waiter has parked: the callback cannot take rt.mu until
+		// cond.Wait has released it, so the wakeup cannot be missed.
+		rt.mu.Lock()
+		rt.mu.Unlock() //nolint:staticcheck // SA2001: see above
+		rt.cond.Broadcast()
+	})
+	rt.cond.Wait()
+	t.Stop()
+	return false
+}
+
 // AwaitMethod implements vm.Gate: it blocks until ref's body has
 // arrived and verified (and its class is linked — a demand-raced
 // MethodReady can otherwise outrun ClassLinked delivery), launching a
-// demand fetch when the stream will not deliver ref next.
+// demand fetch when the stream will not deliver ref next. The wait is
+// bounded by Options.GateTimeout, so a transfer that silently stops
+// making progress surfaces as ErrGateTimeout rather than a hang.
 func (rt *runtime) AwaitMethod(ref classfile.Ref) error {
 	began := time.Now()
+	deadline := rt.gateDeadline()
 	rt.mu.Lock()
 	defer rt.mu.Unlock()
 	for !(rt.methodReady[ref] && rt.classReady[ref.Class]) {
@@ -261,9 +382,14 @@ func (rt *runtime) AwaitMethod(ref classfile.Ref) error {
 		}
 		launched := rt.maybeDemandMethod(ref)
 		if rt.done && !launched && !rt.demanded[ref] {
+			if rt.degraded != nil {
+				return fmt.Errorf("live: method %v unavailable after stream failure: %w", ref, rt.degraded)
+			}
 			return fmt.Errorf("live: method %v never arrived and cannot be demanded", ref)
 		}
-		rt.cond.Wait()
+		if rt.gateWait(deadline) {
+			return fmt.Errorf("%w: method %v not available after %v", ErrGateTimeout, ref, gateTimeout(rt.opts.GateTimeout))
+		}
 	}
 	w := time.Since(began)
 	rt.stall += w
@@ -278,9 +404,10 @@ func (rt *runtime) AwaitMethod(ref classfile.Ref) error {
 
 // AwaitClass implements vm.Gate: it blocks until the class's global
 // data has linked, demand-fetching the global unit when it is out of
-// predicted order.
+// predicted order. Bounded by Options.GateTimeout like AwaitMethod.
 func (rt *runtime) AwaitClass(class string) error {
 	began := time.Now()
+	deadline := rt.gateDeadline()
 	rt.mu.Lock()
 	defer rt.mu.Unlock()
 	for !rt.classReady[class] {
@@ -289,9 +416,14 @@ func (rt *runtime) AwaitClass(class string) error {
 		}
 		launched := rt.maybeDemandClass(class)
 		if rt.done && !launched && !rt.classDem[class] {
+			if rt.degraded != nil {
+				return fmt.Errorf("live: class %q unavailable after stream failure: %w", class, rt.degraded)
+			}
 			return fmt.Errorf("live: class %q never arrived and cannot be demanded", class)
 		}
-		rt.cond.Wait()
+		if rt.gateWait(deadline) {
+			return fmt.Errorf("%w: class %q not available after %v", ErrGateTimeout, class, gateTimeout(rt.opts.GateTimeout))
+		}
 	}
 	rt.stall += time.Since(began)
 	return nil
@@ -383,7 +515,7 @@ func (rt *runtime) demandMethod(ref classfile.Ref) {
 		rt.fail(err)
 		return
 	}
-	evs, err := rt.loader.FeedDemand(bodyU.Class, stream.KindBody, bodyU.Body, payload)
+	evs, err := rt.loader.FeedDemand(bodyU.Class, stream.KindBody, bodyU.Body, payload, bodyU.CRC)
 	if err != nil {
 		rt.fail(err)
 		return
@@ -412,7 +544,7 @@ func (rt *runtime) fetchGlobal(class string) error {
 		if err != nil {
 			return err
 		}
-		evs, err := rt.loader.FeedDemand(u.Class, stream.KindGlobal, -1, payload)
+		evs, err := rt.loader.FeedDemand(u.Class, stream.KindGlobal, -1, payload, u.CRC)
 		if err != nil {
 			return err
 		}
@@ -422,14 +554,59 @@ func (rt *runtime) fetchGlobal(class string) error {
 	return fmt.Errorf("live: class %q is not in the unit table", class)
 }
 
-// fetchUnit range-fetches one unit's payload.
+// demandAttempts bounds how many times a demand or repair fetch of one
+// unit is retried when the reply fails its checksum.
+const demandAttempts = 3
+
+// fetchUnit range-fetches one unit's payload and verifies it against
+// the unit table's checksum, retrying a bounded number of times: a
+// corrupt demand reply is re-fetched, never installed.
 func (rt *runtime) fetchUnit(u stream.UnitInfo) ([]byte, error) {
 	rt.mu.Lock()
 	rt.demands++
 	rt.mu.Unlock()
+	for attempt := 1; ; attempt++ {
+		var buf bytes.Buffer
+		if _, err := rt.client.FetchRange(rt.ctx, rt.opts.URL, u.Off, int64(u.Len), &buf); err != nil {
+			return nil, fmt.Errorf("live: demand fetch of unit at %d: %w", u.Off, err)
+		}
+		if p := buf.Bytes(); stream.ChecksumPayload(p) == u.CRC {
+			return p, nil
+		}
+		if attempt >= demandAttempts {
+			return nil, fmt.Errorf("live: demand fetch of unit at %d: %w: payload failed its checksum %d times",
+				u.Off, stream.ErrStreamIntegrity, attempt)
+		}
+		rt.mu.Lock()
+		rt.refetches++
+		rt.mu.Unlock()
+	}
+}
+
+// repairUnit is the loader's Repair hook: the main stream delivered a
+// unit whose payload failed its checksum, so re-fetch just that unit's
+// bytes with a range request against the unit table. The loader
+// re-verifies the returned payload, so this only has to deliver bytes.
+func (rt *runtime) repairUnit(req stream.RepairRequest) ([]byte, error) {
+	var u *stream.UnitInfo
+	for i := range rt.toc {
+		t := &rt.toc[i]
+		if t.Class == req.Class && t.Kind == req.Kind &&
+			(req.Kind == stream.KindGlobal || t.Body == req.Body) {
+			u = t
+			break
+		}
+	}
+	if u == nil {
+		return nil, fmt.Errorf("live: corrupt %d-byte unit (class %d, body %d) is not in the unit table",
+			req.Len, req.Class, req.Body)
+	}
+	rt.mu.Lock()
+	rt.refetches++
+	rt.mu.Unlock()
 	var buf bytes.Buffer
 	if _, err := rt.client.FetchRange(rt.ctx, rt.opts.URL, u.Off, int64(u.Len), &buf); err != nil {
-		return nil, fmt.Errorf("live: demand fetch of unit at %d: %w", u.Off, err)
+		return nil, fmt.Errorf("live: repair fetch of unit at %d: %w", u.Off, err)
 	}
 	return buf.Bytes(), nil
 }

@@ -1,0 +1,217 @@
+package stream
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+// TestFaultLatencyHonorsCancel is the regression test for latency
+// sleeps ignoring request cancellation: a disconnected client must not
+// pin the handler goroutine for the remaining sleep. Before the fix the
+// handler slept the full Latency per write regardless of the dead
+// request, so this test timed out.
+func TestFaultLatencyHonorsCancel(t *testing.T) {
+	f := Fault{Latency: 30 * time.Second}
+	h := f.Wrap(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("one"))
+		w.Write([]byte("two"))
+	}))
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // the client is already gone when the handler starts
+	req := httptest.NewRequest(http.MethodGet, "/app", nil).WithContext(ctx)
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		h.ServeHTTP(httptest.NewRecorder(), req)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("handler still sleeping 5s after the request was canceled")
+	}
+}
+
+// TestFaultStallHonorsCancel: an unbounded stall (StallFor 0) must end
+// the moment the client disconnects, not hold the goroutine forever.
+func TestFaultStallHonorsCancel(t *testing.T) {
+	f := Fault{StallAfter: 2}
+	h := f.Wrap(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write(make([]byte, 64))
+	}))
+	ctx, cancel := context.WithCancel(context.Background())
+	req := httptest.NewRequest(http.MethodGet, "/app", nil).WithContext(ctx)
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		h.ServeHTTP(httptest.NewRecorder(), req)
+	}()
+	time.AfterFunc(50*time.Millisecond, cancel)
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("stalled handler survived client disconnect")
+	}
+}
+
+// TestFaultCorruptionDeterministic: the same seed must corrupt the same
+// byte positions with the same masks on every request, and a different
+// seed must corrupt differently — that is what makes a chaos schedule
+// reproducible.
+func TestFaultCorruptionDeterministic(t *testing.T) {
+	data := testPayload(4 << 10)
+	srv := serveBytes(t, data, Fault{CorruptEvery: 256, Seed: 7})
+
+	get := func(srv *httptest.Server) []byte {
+		t.Helper()
+		resp, err := http.Get(srv.URL + "/app")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		got, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return got
+	}
+
+	first, second := get(srv), get(srv)
+	if !bytes.Equal(first, second) {
+		t.Fatal("identical requests corrupted differently under one seed")
+	}
+	if bytes.Equal(first, data) {
+		t.Fatal("corruption fault delivered pristine bytes")
+	}
+	var diffs []int
+	for i := range data {
+		if first[i] != data[i] {
+			diffs = append(diffs, i)
+		}
+	}
+	if want := len(data) / 256; len(diffs) != want {
+		t.Errorf("%d bytes corrupted, want %d (every 256th)", len(diffs), want)
+	}
+	for _, i := range diffs {
+		if (i+1)%256 != 0 {
+			t.Errorf("byte %d corrupted; positions should be multiples of 256", i)
+		}
+	}
+
+	other := serveBytes(t, data, Fault{CorruptEvery: 256, Seed: 8})
+	if bytes.Equal(get(other), first) {
+		t.Error("different seeds produced identical corruption")
+	}
+}
+
+// TestFaultTruncate: the response must end cleanly after exactly N body
+// bytes — no reset, just a short body.
+func TestFaultTruncate(t *testing.T) {
+	data := testPayload(2 << 10)
+	srv := serveBytes(t, data, Fault{TruncateAfter: 777})
+	resp, err := http.Get(srv.URL + "/app")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	got, _ := io.ReadAll(resp.Body) // short read is the point; error depends on framing
+	if len(got) != 777 {
+		t.Fatalf("read %d bytes, want exactly 777", len(got))
+	}
+	if !bytes.Equal(got, data[:777]) {
+		t.Error("truncated prefix does not match the original")
+	}
+}
+
+// TestFaultGarbageRange: every Nth Range request gets a 206 whose
+// Content-Range contradicts the request; the fetch client must reject
+// the reply rather than splice junk at the wrong offset, and succeed
+// on a retry.
+func TestFaultGarbageRange(t *testing.T) {
+	data := testPayload(4 << 10)
+	srv := serveBytes(t, data, Fault{GarbageRangeEvery: 2, Seed: 3})
+	c := fastClient(1, nil)
+
+	// Every 2nd Range request is garbage, so the second fetch hits it
+	// and must retry through to a clean reply.
+	for i := 0; i < 2; i++ {
+		var buf bytes.Buffer
+		if _, err := c.FetchRange(context.Background(), srv.URL+"/app", 100, 500, &buf); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(buf.Bytes(), data[100:600]) {
+			t.Fatalf("fetch %d spliced wrong bytes under garbage replies", i)
+		}
+	}
+	if c.Stats().Retries == 0 {
+		t.Error("no retries recorded; the garbage reply was never served")
+	}
+}
+
+// TestFaultGarbageRangeOnly: when every Range reply is garbage, the
+// client must fail cleanly with ErrFetchFailed, never install junk.
+func TestFaultGarbageRangeOnly(t *testing.T) {
+	data := testPayload(4 << 10)
+	srv := serveBytes(t, data, Fault{GarbageRangeEvery: 1, Seed: 3})
+	c := fastClient(1, nil)
+	var buf bytes.Buffer
+	_, err := c.FetchRange(context.Background(), srv.URL+"/app", 100, 500, &buf)
+	if err == nil || !errors.Is(err, ErrFetchFailed) {
+		t.Fatalf("err = %v, want ErrFetchFailed", err)
+	}
+}
+
+// TestFaultFlakyTOC: the first N unit-table requests fail with a 503;
+// the retrying client must ride it out and other paths must be
+// untouched.
+func TestFaultFlakyTOC(t *testing.T) {
+	toc := []byte(`[]`)
+	mux := http.NewServeMux()
+	mux.HandleFunc("/app.toc", func(w http.ResponseWriter, r *http.Request) {
+		http.ServeContent(w, r, "app.toc.json", time.Time{}, bytes.NewReader(toc))
+	})
+	srv := httptest.NewServer(Fault{FlakyTOC: 2}.Wrap(mux))
+	defer srv.Close()
+
+	c := fastClient(1, nil)
+	var buf bytes.Buffer
+	if _, err := c.Fetch(context.Background(), srv.URL+"/app.toc", &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), toc) {
+		t.Fatalf("fetched %q, want %q", buf.Bytes(), toc)
+	}
+	if got := c.Stats().Retries; got < 2 {
+		t.Errorf("%d retries recorded, want at least the 2 flaky 503s", got)
+	}
+}
+
+// TestFaultStallBounded: a bounded stall delays the body but the full
+// payload still arrives on one connection.
+func TestFaultStallBounded(t *testing.T) {
+	data := testPayload(1 << 10)
+	srv := serveBytes(t, data, Fault{StallAfter: 100, StallFor: 50 * time.Millisecond})
+	began := time.Now()
+	resp, err := http.Get(srv.URL + "/app")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	got, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("stalled response corrupted the payload")
+	}
+	if elapsed := time.Since(began); elapsed < 50*time.Millisecond {
+		t.Errorf("response took %v; the 50ms stall never engaged", elapsed)
+	}
+}

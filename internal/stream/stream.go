@@ -4,19 +4,22 @@
 // as the bytes arrive — class-level checks when a global-data unit lands,
 // per-method bytecode checks when a body unit lands.
 //
-// The wire format frames each unit with a 7-byte header: class index
-// (u16), unit kind (u8), payload length (u32). A class's global-data unit
-// always precedes its body units; body units arrive in the class's file
-// order (which, after restructuring, is predicted first-use order).
-// Writer produces the stream from a restructured program; Loader consumes
-// it from any io.Reader and reports an event per unit.
+// The wire format opens with an 18-byte stream header (magic, version,
+// unit count, whole-stream digest) and frames each unit with a 13-byte
+// header: class index (u16), unit kind (u8), payload length (u32),
+// payload CRC32C (u32), and a 16-bit header check (see integrity.go). A
+// class's global-data unit always precedes its body units; body units
+// arrive in the class's file order (which, after restructuring, is
+// predicted first-use order). Writer produces the stream from a
+// restructured program; Loader consumes it from any io.Reader, verifies
+// every unit's checksum on arrival, and reports an event per unit.
 package stream
 
 import (
-	"encoding/binary"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"sync"
 
@@ -31,7 +34,15 @@ const (
 	KindBody   = 1 // one method body: local data + code + delimiter
 )
 
-const headerSize = 7
+const headerSize = 13
+
+// UnitHeaderSize is the wire size of a unit header; a unit's header
+// starts UnitHeaderSize bytes before its UnitInfo.Off.
+const UnitHeaderSize = headerSize
+
+// maxUnitSize bounds a single unit's payload; anything larger is a
+// malformed stream regardless of what the header claims.
+const maxUnitSize = 1 << 28
 
 // MaxClasses is the largest class count a stream can carry: the unit
 // header stores the class index as a u16.
@@ -126,14 +137,20 @@ func NewWriter(p *classfile.Program, ix *classfile.Index, o *reorder.Order) (*Wr
 	return w, nil
 }
 
-// WriteTo implements io.WriterTo: the whole stream, unthrottled.
+// WriteTo implements io.WriterTo: the stream header, then every unit,
+// unthrottled.
 func (w *Writer) WriteTo(out io.Writer) (int64, error) {
 	var n int64
+	shdr := make([]byte, streamHeaderSize)
+	putStreamHeader(shdr, len(w.units), w.digest())
+	k, err := out.Write(shdr)
+	n += int64(k)
+	if err != nil {
+		return n, err
+	}
 	hdr := make([]byte, headerSize)
 	for _, u := range w.units {
-		binary.BigEndian.PutUint16(hdr[0:], uint16(u.class))
-		hdr[2] = u.kind
-		binary.BigEndian.PutUint32(hdr[3:], uint32(len(u.data)))
+		putUnitHeader(hdr, u.class, u.kind, len(u.data), ChecksumPayload(u.data))
 		k, err := out.Write(hdr)
 		n += int64(k)
 		if err != nil {
@@ -148,12 +165,26 @@ func (w *Writer) WriteTo(out io.Writer) (int64, error) {
 	return n, nil
 }
 
+// digest computes the whole-stream digest: the CRC32C over every unit
+// header and payload in stream order (everything after the stream
+// header).
+func (w *Writer) digest() uint32 {
+	var d uint32
+	hdr := make([]byte, headerSize)
+	for _, u := range w.units {
+		putUnitHeader(hdr, u.class, u.kind, len(u.data), ChecksumPayload(u.data))
+		d = crc32.Update(d, crcTable, hdr)
+		d = crc32.Update(d, crcTable, u.data)
+	}
+	return d
+}
+
 // Units returns the number of planned units.
 func (w *Writer) Units() int { return len(w.units) }
 
 // Size returns the total stream size in bytes, headers included.
 func (w *Writer) Size() int64 {
-	var n int64
+	n := int64(streamHeaderSize)
 	for _, u := range w.units {
 		n += headerSize + int64(len(u.data))
 	}
@@ -176,22 +207,25 @@ type UnitInfo struct {
 	Body int `json:"body"`
 	// Method is the delivered method; zero for global units.
 	Method classfile.Ref `json:"method"`
-	// Off is the stream offset of the unit's payload (its 7-byte header
+	// Off is the stream offset of the unit's payload (its 13-byte header
 	// immediately precedes it).
 	Off int64 `json:"off"`
 	// Len is the payload length in bytes, header excluded.
 	Len int `json:"len"`
+	// CRC is the CRC32C of the payload, so a demand-fetched unit is
+	// verified end to end before installation.
+	CRC uint32 `json:"crc"`
 }
 
 // TOC returns the per-unit offset table of the planned stream.
 func (w *Writer) TOC() []UnitInfo {
 	toc := make([]UnitInfo, 0, len(w.units))
-	var off int64
+	off := int64(streamHeaderSize)
 	for _, u := range w.units {
 		off += headerSize
 		toc = append(toc, UnitInfo{
 			Class: u.class, Kind: u.kind, Body: u.body, Method: u.method,
-			ClassName: u.cls, Off: off, Len: len(u.data),
+			ClassName: u.cls, Off: off, Len: len(u.data), CRC: ChecksumPayload(u.data),
 		})
 		off += int64(len(u.data))
 	}
@@ -202,11 +236,39 @@ func (w *Writer) TOC() []UnitInfo {
 // publishes it next to the stream).
 func MarshalTOC(toc []UnitInfo) ([]byte, error) { return json.Marshal(toc) }
 
-// ParseTOC inverts MarshalTOC.
+// ParseTOC inverts MarshalTOC and validates the table's geometry. The
+// demand-fetch path turns every entry into a byte-range request and
+// installs the reply, so a hostile or damaged table must not be trusted
+// blindly: entries must describe contiguous, in-bounds, monotonically
+// increasing unit ranges exactly as the writer lays them out, with
+// well-formed kind, class, and body fields.
 func ParseTOC(data []byte) ([]UnitInfo, error) {
 	var toc []UnitInfo
 	if err := json.Unmarshal(data, &toc); err != nil {
 		return nil, fmt.Errorf("stream: bad unit table: %w", err)
+	}
+	next := int64(streamHeaderSize + headerSize)
+	for i, u := range toc {
+		switch {
+		case u.Kind != KindGlobal && u.Kind != KindBody:
+			return nil, fmt.Errorf("stream: unit table entry %d: unknown kind %d", i, u.Kind)
+		case u.Class < 0 || u.Class > MaxClasses:
+			return nil, fmt.Errorf("stream: unit table entry %d: class index %d out of range", i, u.Class)
+		case u.Kind == KindGlobal && u.Body != -1:
+			return nil, fmt.Errorf("stream: unit table entry %d: global unit with body index %d", i, u.Body)
+		case u.Kind == KindBody && u.Body < 0:
+			return nil, fmt.Errorf("stream: unit table entry %d: body unit with body index %d", i, u.Body)
+		case u.Len <= 0 || u.Len > maxUnitSize:
+			return nil, fmt.Errorf("stream: unit table entry %d: payload length %d out of range", i, u.Len)
+		case u.Off != next:
+			// Catches overlapping, out-of-bounds, and non-monotonic
+			// ranges at once: the writer emits units back to back, so
+			// each payload must start exactly one header past the end of
+			// the previous payload.
+			return nil, fmt.Errorf("stream: unit table entry %d: payload at offset %d, want %d (overlapping, out-of-bounds, or non-monotonic range)",
+				i, u.Off, next)
+		}
+		next = u.Off + int64(u.Len) + headerSize
 	}
 	return toc, nil
 }
@@ -228,6 +290,20 @@ type Loader struct {
 	name      string
 	resolver  verify.Resolver
 
+	// Repair, when non-nil, is invoked (with no loader locks held) for
+	// each main-stream unit whose payload fails its checksum: it should
+	// return a fresh copy of the payload, typically via a byte-range
+	// re-fetch against the writer's unit table. The loader re-verifies
+	// every returned payload and retries up to RepairAttempts times; a
+	// unit that stays corrupt is quarantined and skipped rather than
+	// installed, and the stream continues. With Repair nil, a corrupt
+	// unit is a terminal ErrStreamIntegrity error instead — the strict
+	// behaviour for clients with no demand path to heal through. Set
+	// both fields before calling Load; they must not change during it.
+	Repair func(RepairRequest) ([]byte, error)
+	// RepairAttempts caps Repair invocations per corrupt unit (0 = 3).
+	RepairAttempts int
+
 	mu         sync.Mutex
 	classes    map[int]*classfile.Class
 	layouts    map[int]classfile.Layout
@@ -238,6 +314,10 @@ type Loader struct {
 	mainUnits  int            // units consumed from the main stream
 	consumed   int64          // main-stream bytes, headers included
 	demanded   int64          // demand-fetched payload bytes
+
+	quarGlobal  map[int]bool                // class's global unit is quarantined
+	quarantined map[quarKey]QuarantinedUnit // corrupt units awaiting a clean copy
+	integ       IntegrityStats
 }
 
 // NewLoader builds a loader for a program named name whose entry class
@@ -246,39 +326,96 @@ type Loader struct {
 // analysis); use Resolver() to verify against the classes loaded so far.
 func NewLoader(name, mainClass string, resolver verify.Resolver) *Loader {
 	return &Loader{
-		name:       name,
-		mainClass:  mainClass,
-		resolver:   resolver,
-		classes:    make(map[int]*classfile.Class),
-		layouts:    make(map[int]classfile.Layout),
-		present:    make(map[int][]bool),
-		ready:      make(map[int]int),
-		mainNext:   make(map[int]int),
-		fromDemand: make(map[int]bool),
+		name:        name,
+		mainClass:   mainClass,
+		resolver:    resolver,
+		classes:     make(map[int]*classfile.Class),
+		layouts:     make(map[int]classfile.Layout),
+		present:     make(map[int][]bool),
+		ready:       make(map[int]int),
+		mainNext:    make(map[int]int),
+		fromDemand:  make(map[int]bool),
+		quarGlobal:  make(map[int]bool),
+		quarantined: make(map[quarKey]QuarantinedUnit),
 	}
 }
 
 // Load consumes the whole stream from r, invoking onEvent (if non-nil)
 // after each verified unit. Events are delivered outside the loader's
 // lock, so the callback may call back into the loader.
+//
+// Every unit's payload is verified against its header checksum before
+// installation; corrupt payloads go through the Repair hook (see the
+// field docs) or, without one, fail the load. At EOF the unit count and
+// the whole-stream digest from the stream header are checked, so a
+// truncated-at-a-unit-boundary stream or a corruption that slipped the
+// per-unit checks still surfaces as an error rather than a silently
+// incomplete program.
 func (l *Loader) Load(r io.Reader, onEvent func(Event)) error {
+	shdr := make([]byte, streamHeaderSize)
+	if _, err := io.ReadFull(r, shdr); err != nil {
+		return fmt.Errorf("%w: reading stream header: %v", ErrBadStream, err)
+	}
+	unitCount, wantDigest, err := parseStreamHeader(shdr)
+	if err != nil {
+		return err
+	}
+	l.mu.Lock()
+	l.consumed += streamHeaderSize
+	l.mu.Unlock()
+	var digest uint32
+	digestKnown := true // false once a quarantined unit's true bytes are unknown
+	units := 0
 	hdr := make([]byte, headerSize)
 	for {
 		if _, err := io.ReadFull(r, hdr); err == io.EOF {
+			if units != unitCount {
+				return fmt.Errorf("%w: stream ended after %d of %d units (truncated at a unit boundary)",
+					ErrBadStream, units, unitCount)
+			}
+			l.mu.Lock()
+			if digestKnown && len(l.quarantined) == 0 {
+				if digest != wantDigest {
+					l.mu.Unlock()
+					return fmt.Errorf("%w: whole-stream digest %08x, header promised %08x", ErrStreamIntegrity, digest, wantDigest)
+				}
+				l.integ.DigestVerified = true
+			}
+			l.mu.Unlock()
 			return nil
 		} else if err != nil {
 			return fmt.Errorf("%w: reading unit header: %v", ErrBadStream, err)
 		}
-		ci := int(binary.BigEndian.Uint16(hdr[0:]))
-		kind := hdr[2]
-		n := int(binary.BigEndian.Uint32(hdr[3:]))
-		if n > 1<<28 {
+		ci, kind, n, crc, err := parseUnitHeader(hdr)
+		if err != nil {
+			// A corrupted header means the framing of everything after
+			// it is unreliable; there is no way to resync from within
+			// the stream, so this is terminal. (A demand-fetching client
+			// degrades to pulling the remaining units by range.)
+			return err
+		}
+		if n > maxUnitSize {
 			return fmt.Errorf("%w: unit of %d bytes", ErrBadStream, n)
 		}
 		payload := make([]byte, n)
 		if _, err := io.ReadFull(r, payload); err != nil {
 			return fmt.Errorf("%w: reading %d-byte unit: %v", ErrBadStream, n, err)
 		}
+		units++
+		if ChecksumPayload(payload) != crc {
+			repaired, err := l.repairUnit(ci, kind, n, crc)
+			if err != nil {
+				return err
+			}
+			payload = repaired // nil = quarantined
+		}
+		if payload == nil {
+			digestKnown = false
+			l.quarantine(ci, kind, n, crc)
+			continue
+		}
+		digest = crc32.Update(digest, crcTable, hdr)
+		digest = crc32.Update(digest, crcTable, payload)
 		l.mu.Lock()
 		l.consumed += headerSize + int64(n)
 		ev, err := l.feed(ci, kind, payload)
@@ -293,6 +430,74 @@ func (l *Loader) Load(r io.Reader, onEvent func(Event)) error {
 			}
 		}
 	}
+}
+
+// repairUnit handles one corrupt main-stream unit: it asks the Repair
+// hook for a clean copy, bounded by RepairAttempts, verifying each
+// returned payload. It returns the repaired payload, or (nil, nil) when
+// the unit must be quarantined, or a terminal error when no Repair hook
+// is installed (strict mode). Called with no locks held.
+func (l *Loader) repairUnit(ci int, kind byte, n int, crc uint32) ([]byte, error) {
+	l.mu.Lock()
+	l.integ.CorruptUnits++
+	repair := l.Repair
+	body := -1
+	if kind == KindBody {
+		body = l.mainNext[ci]
+	}
+	l.mu.Unlock()
+	if repair == nil {
+		return nil, fmt.Errorf("%w: class %d %s unit: payload checksum mismatch and no repair path",
+			ErrStreamIntegrity, ci, kindName(kind))
+	}
+	attempts := l.RepairAttempts
+	if attempts <= 0 {
+		attempts = 3
+	}
+	for a := 1; a <= attempts; a++ {
+		l.mu.Lock()
+		l.integ.RepairAttempts++
+		l.mu.Unlock()
+		p, err := repair(RepairRequest{Class: ci, Kind: kind, Body: body, Len: n, CRC: crc, Attempt: a})
+		if err != nil || len(p) != n || ChecksumPayload(p) != crc {
+			continue
+		}
+		l.mu.Lock()
+		l.integ.Repaired++
+		l.mu.Unlock()
+		return p, nil
+	}
+	return nil, nil
+}
+
+// quarantine records a unit that arrived corrupt and could not be
+// repaired. The stream cursor still advances past it — the unit is
+// skipped, not installed — so a later demand fetch can deliver a clean
+// copy through FeedDemand.
+func (l *Loader) quarantine(ci int, kind byte, n int, crc uint32) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	body := -1
+	if kind == KindBody {
+		body = l.mainNext[ci]
+		l.mainNext[ci] = body + 1
+	} else {
+		l.quarGlobal[ci] = true
+	}
+	l.quarantined[quarKey{ci, kind, body}] = QuarantinedUnit{Class: ci, Kind: kind, Body: body, Len: n, CRC: crc}
+	l.integ.Quarantined++
+	l.consumed += headerSize + int64(n)
+	l.mainUnits++
+}
+
+func kindName(kind byte) string {
+	switch kind {
+	case KindGlobal:
+		return "global"
+	case KindBody:
+		return "body"
+	}
+	return fmt.Sprintf("kind-%d", kind)
 }
 
 // feed processes one main-stream unit and returns the events it
@@ -314,6 +519,19 @@ func (l *Loader) feed(ci int, kind byte, payload []byte) ([]Event, error) {
 	case KindBody:
 		c, ok := l.classes[ci]
 		if !ok {
+			if l.quarGlobal[ci] {
+				// The class's global unit is quarantined, so this body —
+				// even though its own checksum passed — cannot be
+				// verified or installed: there is no layout to check it
+				// against. Quarantine it alongside the global; the
+				// demand path redelivers both.
+				bi := l.mainNext[ci]
+				l.mainNext[ci] = bi + 1
+				l.quarantined[quarKey{ci, KindBody, bi}] = QuarantinedUnit{
+					Class: ci, Kind: KindBody, Body: bi, Len: len(payload), CRC: ChecksumPayload(payload)}
+				l.integ.Quarantined++
+				return nil, nil
+			}
 			return nil, fmt.Errorf("%w: body before global data for class %d", ErrBadStream, ci)
 		}
 		bi := l.mainNext[ci]
@@ -334,11 +552,18 @@ func (l *Loader) feed(ci int, kind byte, payload []byte) ([]Event, error) {
 
 // FeedDemand installs one demand-fetched unit — a misprediction
 // correction pulled out of predicted order via a byte-range request
-// against the writer's unit table. Body units require the class's global
-// unit first (fetch it through FeedDemand too if the main stream has not
-// delivered it). Units that already arrived are skipped without error,
-// so the demand path may race the main stream freely.
-func (l *Loader) FeedDemand(ci int, kind byte, body int, payload []byte) ([]Event, error) {
+// against the writer's unit table. The payload is verified against crc
+// (the unit table's checksum for it) before anything is installed. Body
+// units require the class's global unit first (fetch it through
+// FeedDemand too if the main stream has not delivered it). Units that
+// already arrived are skipped without error, so the demand path may race
+// the main stream freely, and a clean demand copy clears any quarantine
+// the main stream left behind for the unit.
+func (l *Loader) FeedDemand(ci int, kind byte, body int, payload []byte, crc uint32) ([]Event, error) {
+	if ChecksumPayload(payload) != crc {
+		return nil, fmt.Errorf("%w: demand-fetched %s unit for class %d failed its checksum",
+			ErrStreamIntegrity, kindName(kind), ci)
+	}
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	l.demanded += int64(len(payload))
@@ -350,6 +575,13 @@ func (l *Loader) FeedDemand(ci int, kind byte, body int, payload []byte) ([]Even
 		ev, err := l.installGlobal(ci, payload)
 		if err == nil {
 			l.fromDemand[ci] = true
+			if l.quarGlobal[ci] {
+				delete(l.quarGlobal, ci)
+				l.unquarantine(quarKey{ci, KindGlobal, -1})
+				// The main stream consumed its corrupt copy already; the
+				// usual duplicate-global redelivery cannot happen.
+				l.fromDemand[ci] = false
+			}
 		}
 		return ev, err
 	case KindBody:
@@ -363,10 +595,41 @@ func (l *Loader) FeedDemand(ci int, kind byte, body int, payload []byte) ([]Even
 		if l.present[ci][body] {
 			return nil, nil
 		}
-		return l.installBody(ci, body, payload)
+		ev, err := l.installBody(ci, body, payload)
+		if err == nil {
+			l.unquarantine(quarKey{ci, KindBody, body})
+		}
+		return ev, err
 	default:
 		return nil, fmt.Errorf("stream: demand unit of unknown kind %d", kind)
 	}
+}
+
+// unquarantine clears a unit's quarantine record once a clean copy has
+// been installed. Callers hold l.mu.
+func (l *Loader) unquarantine(k quarKey) {
+	delete(l.quarantined, k)
+}
+
+// Integrity returns a snapshot of the loader's verification counters.
+func (l *Loader) Integrity() IntegrityStats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	st := l.integ
+	st.Outstanding = len(l.quarantined)
+	return st
+}
+
+// Quarantined lists the units that arrived corrupt and have not yet been
+// replaced by a clean copy.
+func (l *Loader) Quarantined() []QuarantinedUnit {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]QuarantinedUnit, 0, len(l.quarantined))
+	for _, q := range l.quarantined {
+		out = append(out, q)
+	}
+	return out
 }
 
 // installGlobal parses, verifies, and registers a class's global data.
@@ -431,6 +694,10 @@ func (l *Loader) Program() (*classfile.Program, error) {
 			break
 		}
 		if l.ready[ci] != len(c.Methods) {
+			if n := len(l.quarantined); n > 0 {
+				return nil, fmt.Errorf("stream: class %s has %d of %d method bodies (%d corrupt units quarantined and never repaired)",
+					c.Name, l.ready[ci], len(c.Methods), n)
+			}
 			return nil, fmt.Errorf("stream: class %s has %d of %d method bodies",
 				c.Name, l.ready[ci], len(c.Methods))
 		}

@@ -2,7 +2,9 @@ package stream
 
 import (
 	"bytes"
+	"encoding/binary"
 	"errors"
+	"hash/crc32"
 	"io"
 	"strings"
 	"testing"
@@ -17,7 +19,7 @@ import (
 )
 
 // plan builds a restructured benchmark and its stream writer.
-func plan(t *testing.T, name string) (*apps.App, *classfile.Program, *classfile.Index, *Writer) {
+func plan(t testing.TB, name string) (*apps.App, *classfile.Program, *classfile.Index, *Writer) {
 	t.Helper()
 	app, err := apps.ByName(name)
 	if err != nil {
@@ -142,6 +144,30 @@ func TestIncrementalResolver(t *testing.T) {
 	}
 }
 
+// unitAt walks a well-formed stream and returns the header offset, kind,
+// and payload length of unit i.
+func unitAt(t *testing.T, data []byte, i int) (off int, kind byte, n int) {
+	t.Helper()
+	off = streamHeaderSize
+	for {
+		_, k, ln, _, err := parseUnitHeader(data[off : off+headerSize])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			return off, k, ln
+		}
+		i--
+		off += headerSize + ln
+	}
+}
+
+// resealStreamHeader recomputes the stream header's self-check after a
+// test mutates one of its fields.
+func resealStreamHeader(b []byte) {
+	binary.BigEndian.PutUint32(b[14:], crc32.Checksum(b[:14], crcTable))
+}
+
 func TestLoaderRejectsMalformedStreams(t *testing.T) {
 	_, rp, _, w := plan(t, "Hanoi")
 	var buf bytes.Buffer
@@ -160,52 +186,102 @@ func TestLoaderRejectsMalformedStreams(t *testing.T) {
 			t.Error("accepted truncated stream")
 		}
 	})
+	t.Run("bad-magic", func(t *testing.T) {
+		mut := append([]byte(nil), good...)
+		mut[0] ^= 0xFF
+		if err := load(mut); err == nil || !errors.Is(err, ErrBadStream) {
+			t.Errorf("err = %v, want ErrBadStream", err)
+		}
+	})
+	t.Run("bad-version", func(t *testing.T) {
+		mut := append([]byte(nil), good...)
+		mut[4] = 99
+		resealStreamHeader(mut)
+		if err := load(mut); err == nil || !errors.Is(err, ErrBadStream) {
+			t.Errorf("err = %v, want ErrBadStream", err)
+		}
+	})
+	t.Run("corrupt-stream-header", func(t *testing.T) {
+		mut := append([]byte(nil), good...)
+		mut[6] ^= 0x40 // damage the unit count without resealing
+		if err := load(mut); err == nil || !errors.Is(err, ErrStreamIntegrity) {
+			t.Errorf("err = %v, want ErrStreamIntegrity", err)
+		}
+	})
+	t.Run("unit-count-mismatch", func(t *testing.T) {
+		mut := append([]byte(nil), good...)
+		binary.BigEndian.PutUint32(mut[6:], uint32(w.Units()+1))
+		resealStreamHeader(mut)
+		if err := load(mut); err == nil || !errors.Is(err, ErrBadStream) {
+			t.Errorf("err = %v, want ErrBadStream", err)
+		}
+	})
+	t.Run("digest-mismatch", func(t *testing.T) {
+		mut := append([]byte(nil), good...)
+		binary.BigEndian.PutUint32(mut[10:], binary.BigEndian.Uint32(mut[10:])^0xDEAD)
+		resealStreamHeader(mut)
+		if err := load(mut); err == nil || !errors.Is(err, ErrStreamIntegrity) {
+			t.Errorf("err = %v, want ErrStreamIntegrity", err)
+		}
+	})
 	t.Run("body-before-global", func(t *testing.T) {
-		// Skip the first unit (a global) and feed from the next header.
-		// The next unit's class has no global yet.
-		n := int(uint32(good[3])<<24 | uint32(good[4])<<16 | uint32(good[5])<<8 | uint32(good[6]))
-		if err := load(good[headerSize+n:]); err == nil {
+		// Splice out the first unit (a global): stream header, then the
+		// stream from the second unit's header on. Its body unit now has
+		// no global.
+		_, _, n := unitAt(t, good, 0)
+		mut := append([]byte(nil), good[:streamHeaderSize]...)
+		mut = append(mut, good[streamHeaderSize+headerSize+n:]...)
+		if err := load(mut); err == nil {
 			t.Error("accepted body before global")
 		}
 	})
 	t.Run("bad-kind", func(t *testing.T) {
+		// Rewrite the first unit's kind — resealing the header check, so
+		// the framing is valid and the kind itself is what gets rejected.
 		mut := append([]byte(nil), good...)
-		mut[2] = 9
-		err := load(mut)
-		if err == nil || !errors.Is(err, ErrBadStream) {
-			t.Errorf("err = %v", err)
+		off, _, n := unitAt(t, good, 0)
+		class, _, _, crc, err := parseUnitHeader(good[off : off+headerSize])
+		if err != nil {
+			t.Fatal(err)
+		}
+		putUnitHeader(mut[off:off+headerSize], class, 9, n, crc)
+		if err := load(mut); err == nil || !errors.Is(err, ErrBadStream) {
+			t.Errorf("err = %v, want ErrBadStream", err)
+		}
+	})
+	t.Run("corrupt-unit-header", func(t *testing.T) {
+		// A flipped bit in a unit header desyncs all later framing; with
+		// no in-stream resync possible this must be terminal.
+		mut := append([]byte(nil), good...)
+		off, _, _ := unitAt(t, good, 0)
+		mut[off+3] ^= 0x01 // high byte of the length field
+		if err := load(mut); err == nil || !errors.Is(err, ErrStreamIntegrity) {
+			t.Errorf("err = %v, want ErrStreamIntegrity", err)
 		}
 	})
 	t.Run("corrupt-delimiter", func(t *testing.T) {
+		// A flipped payload byte (here a body's trailing delimiter) fails
+		// the unit checksum; with no repair path that is terminal.
 		mut := append([]byte(nil), good...)
-		// Find a body unit and break its final delimiter byte: walk units.
-		off := 0
-		for off+headerSize <= len(mut) {
-			kind := mut[off+2]
-			n := int(uint32(mut[off+3])<<24 | uint32(mut[off+4])<<16 | uint32(mut[off+5])<<8 | uint32(mut[off+6]))
+		for i := 0; ; i++ {
+			off, kind, n := unitAt(t, good, i)
 			if kind == KindBody {
 				mut[off+headerSize+n-1] ^= 0xFF
 				break
 			}
-			off += headerSize + n
 		}
-		if err := load(mut); err == nil {
-			t.Error("accepted corrupt delimiter")
+		if err := load(mut); err == nil || !errors.Is(err, ErrStreamIntegrity) {
+			t.Errorf("err = %v, want ErrStreamIntegrity", err)
 		}
 	})
 	t.Run("incomplete-program", func(t *testing.T) {
-		// Cut the stream cleanly between units: after the first two.
-		off := 0
-		for i := 0; i < 2; i++ {
-			n := int(uint32(good[off+3])<<24 | uint32(good[off+4])<<16 | uint32(good[off+5])<<8 | uint32(good[off+6]))
-			off += headerSize + n
-		}
-		l := NewLoader(rp.Name, rp.MainClass, nil)
-		if err := l.Load(bytes.NewReader(good[:off]), nil); err != nil {
-			t.Fatalf("clean prefix rejected: %v", err)
-		}
-		if _, err := l.Program(); err == nil {
-			t.Error("assembled a program with missing bodies")
+		// A clean cut between units used to slip past the loader and only
+		// surface in Program(); the stream header's unit count catches it
+		// at EOF now.
+		off, _, n := unitAt(t, good, 1)
+		err := load(good[:off+headerSize+n])
+		if err == nil || !errors.Is(err, ErrBadStream) {
+			t.Errorf("err = %v, want ErrBadStream for truncation at a unit boundary", err)
 		}
 	})
 }

@@ -1,0 +1,119 @@
+package stream
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestParseTOCRoundTrip: the writer's own table must parse back clean.
+func TestParseTOCRoundTrip(t *testing.T) {
+	_, _, _, w := plan(t, "Hanoi")
+	data, err := MarshalTOC(w.TOC())
+	if err != nil {
+		t.Fatal(err)
+	}
+	toc, err := ParseTOC(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(toc) != w.Units() {
+		t.Fatalf("parsed %d units, writer planned %d", len(toc), w.Units())
+	}
+}
+
+// TestParseTOCRejectsBadGeometry feeds ParseTOC tables whose entries a
+// demand-fetching client would turn straight into byte-range requests:
+// each must be rejected, naming the offending entry.
+func TestParseTOCRejectsBadGeometry(t *testing.T) {
+	_, _, _, w := plan(t, "Hanoi")
+	good := w.TOC()
+	if len(good) < 3 {
+		t.Fatal("need at least 3 units for the mutations below")
+	}
+
+	clone := func() []UnitInfo { return append([]UnitInfo(nil), good...) }
+	tests := []struct {
+		name    string
+		mutate  func([]UnitInfo) []UnitInfo
+		wantErr string
+	}{
+		{"unknown-kind", func(toc []UnitInfo) []UnitInfo {
+			toc[1].Kind = 7
+			return toc
+		}, "unknown kind"},
+		{"class-out-of-range", func(toc []UnitInfo) []UnitInfo {
+			toc[1].Class = -1
+			return toc
+		}, "class index"},
+		{"global-with-body-index", func(toc []UnitInfo) []UnitInfo {
+			toc[0].Body = 0
+			return toc
+		}, "global unit with body index"},
+		{"body-with-negative-index", func(toc []UnitInfo) []UnitInfo {
+			toc[1].Body = -3
+			return toc
+		}, "body unit with body index"},
+		{"zero-length", func(toc []UnitInfo) []UnitInfo {
+			toc[1].Len = 0
+			return toc
+		}, "payload length"},
+		{"negative-length", func(toc []UnitInfo) []UnitInfo {
+			toc[1].Len = -5
+			return toc
+		}, "payload length"},
+		{"oversized-length", func(toc []UnitInfo) []UnitInfo {
+			toc[1].Len = maxUnitSize + 1
+			return toc
+		}, "payload length"},
+		{"wrong-first-offset", func(toc []UnitInfo) []UnitInfo {
+			toc[0].Off = 0 // points into the stream header
+			return toc
+		}, "offset"},
+		{"overlapping-ranges", func(toc []UnitInfo) []UnitInfo {
+			toc[2].Off = toc[1].Off + 1 // overlaps unit 1's payload
+			return toc
+		}, "offset"},
+		{"gap-out-of-bounds", func(toc []UnitInfo) []UnitInfo {
+			toc[2].Off += 1 << 20 // past every real unit
+			return toc
+		}, "offset"},
+		{"non-monotonic", func(toc []UnitInfo) []UnitInfo {
+			toc[1], toc[2] = toc[2], toc[1]
+			return toc
+		}, "offset"},
+		{"length-desyncs-successor", func(toc []UnitInfo) []UnitInfo {
+			// A plausible length lie: entry 1 claims one byte less, so
+			// entry 2's (true) offset no longer lines up.
+			toc[1].Len--
+			return toc
+		}, "offset"},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			data, err := MarshalTOC(tc.mutate(clone()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			_, err = ParseTOC(data)
+			if err == nil {
+				t.Fatal("malformed unit table accepted")
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Errorf("err = %v, want mention of %q", err, tc.wantErr)
+			}
+		})
+	}
+
+	t.Run("bad-json", func(t *testing.T) {
+		if _, err := ParseTOC([]byte("{not json")); err == nil {
+			t.Fatal("accepted malformed JSON")
+		}
+	})
+	t.Run("empty-table", func(t *testing.T) {
+		// An empty table is geometrically valid (no units, no demand
+		// path); it must not be an error.
+		if _, err := ParseTOC([]byte("[]")); err != nil {
+			t.Fatalf("empty table rejected: %v", err)
+		}
+	})
+}

@@ -212,7 +212,7 @@ func (r liveResolver) static(op bytecode.Op, class, name string) (linkedInstr, e
 func (lv *LiveLinked) Run(opts Options) (*Machine, error) {
 	mainRef := lv.ln.prog.Main()
 	if err := lv.gate.AwaitClass(mainRef.Class); err != nil {
-		return nil, err
+		return nil, fmt.Errorf("vm: waiting for entry class %q: %w", mainRef.Class, err)
 	}
 	lv.mu.Lock()
 	id, ok := lv.byRef[mainRef]

@@ -457,7 +457,9 @@ func (m *Machine) resolveOp(fr *frame, in linkedInstr) (linkedInstr, error) {
 	lv := m.ln.live
 	p := lv.pendingAt(in.a)
 	if err := lv.gate.AwaitClass(p.class); err != nil {
-		return linkedInstr{}, err
+		// Surface a dead or deadlined transfer as a clean per-reference
+		// error naming what execution was blocked on, not a hang.
+		return linkedInstr{}, fmt.Errorf("vm: resolving reference to class %q: %w", p.class, err)
 	}
 	lv.mu.Lock()
 	defer lv.mu.Unlock()
@@ -489,9 +491,11 @@ func (m *Machine) firstUse(id classfile.MethodID) error {
 	lm := m.meths[id]
 	if lv := m.ln.live; lv != nil {
 		// Non-strict gate: block until the method's bytes (and delimiter)
-		// have arrived and verified, then link its body lazily.
+		// have arrived and verified, then link its body lazily. A gate
+		// failure (dead stream, deadline) is reported per invocation so
+		// the caller can see exactly which first use could not proceed.
 		if err := lv.gate.AwaitMethod(lm.ref); err != nil {
-			return err
+			return fmt.Errorf("vm: first invocation of %v: %w", lm.ref, err)
 		}
 		if err := lv.ensureLink(lm); err != nil {
 			return err

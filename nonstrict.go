@@ -260,9 +260,14 @@ type (
 	FetchClient = stream.FetchClient
 	// FetchStats snapshots a FetchClient's transfer counters.
 	FetchStats = stream.FetchStats
-	// Fault injects deterministic transport failures (drops, latency)
-	// into an HTTP handler for tests and demos.
+	// Fault injects a deterministic, seeded schedule of transport
+	// failures into an HTTP handler — drops, latency, silent bit
+	// corruption, mid-body stalls, truncation, garbage Range replies,
+	// flaky unit tables — for tests, demos, and the chaos harness.
 	Fault = stream.Fault
+	// IntegrityStats counts per-unit checksum verification outcomes:
+	// corrupt units seen, repair round trips, quarantined units.
+	IntegrityStats = stream.IntegrityStats
 )
 
 // NewStreamWriter plans the interleaved stream of a restructured program.
@@ -290,6 +295,15 @@ type (
 	// UnitInfo locates one stream unit for byte-range demand fetches.
 	UnitInfo = stream.UnitInfo
 )
+
+// ErrGateTimeout reports a first invocation whose method never became
+// available within the gate deadline — the clean, diagnosable outcome
+// of a transfer that hangs without ever failing.
+var ErrGateTimeout = live.ErrGateTimeout
+
+// DefaultGateTimeout is the availability-gate deadline used when
+// LiveOptions.GateTimeout is zero.
+const DefaultGateTimeout = live.DefaultGateTimeout
 
 // RunLive executes the program served at opts.URL while it streams in.
 func RunLive(ctx context.Context, opts LiveOptions) (*Machine, *LiveStats, error) {
