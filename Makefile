@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race lint bench-smoke live-smoke chaos ci clean
+.PHONY: all build test race lint bench-smoke live-smoke chaos trace-smoke ci clean
 
 all: build
 
@@ -40,7 +40,15 @@ chaos:
 	$(GO) test -race -run 'TestChaos|TestGateDeadline|TestGateTimeout|TestStreamDeath|TestFault|TestRepair|TestDemandHeals|TestParseTOC|TestServeAndRunRemoteChaos|Fuzz' \
 		-v ./internal/stream ./internal/live ./cmd/nonstrict
 
-ci: build lint test race bench-smoke live-smoke chaos
+# The observability gate: export a Chrome trace from an overlapped run
+# and round-trip it through the trace subcommand; require the measured
+# stall attribution to sum to every first-invocation latency beside the
+# simulator's predicted stalls; scrape /metrics during a fault-injected
+# serve.
+trace-smoke:
+	$(GO) test -run 'TestRunRemoteTraceAndSummary|TestServeMetricsDuringChaos' -v ./cmd/nonstrict
+
+ci: build lint test race bench-smoke live-smoke chaos trace-smoke
 
 clean:
 	$(GO) clean ./...

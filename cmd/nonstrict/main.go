@@ -17,6 +17,7 @@
 //	nonstrict fetch <url> -name N  load it non-strictly and run it
 //	nonstrict run-remote <url> -name N
 //	                               execute it while it streams in
+//	nonstrict trace <file>         summarize an exported run trace
 package main
 
 import (
@@ -27,6 +28,7 @@ import (
 	"io"
 	"os"
 	"os/signal"
+	"sort"
 	"strings"
 	"syscall"
 
@@ -56,7 +58,11 @@ commands:
   run-remote <url> -name N
                        execute a served benchmark WHILE it streams in,
                        measuring first-invocation latency and overlap
-                       (-stats compares against simulator predictions)`)
+                       (-stats compares against simulator predictions,
+                       -trace FILE exports a Chrome trace of the run,
+                       -trace-summary prints the measured stall
+                       attribution beside the simulator's predictions)
+  trace <file>         summarize a trace exported by run-remote -trace`)
 	os.Exit(2)
 }
 
@@ -107,6 +113,8 @@ func dispatch(ctx context.Context, cmd string, args []string, out io.Writer) err
 		return cmdFetch(ctx, args, out)
 	case "run-remote":
 		return cmdRunRemote(ctx, args, out)
+	case "trace":
+		return cmdTrace(args, out)
 	default:
 		return errUsage
 	}
@@ -382,8 +390,48 @@ func cmdSim(args []string, out io.Writer) error {
 		res.StallCycles, res.StallEvents, res.Mispredicts)
 	fmt.Fprintf(out, "total cycles:       %d\n", res.TotalCycles)
 	fmt.Fprintf(out, "strict baseline:    %d\n", strict)
-	fmt.Fprintf(out, "normalized:         %.1f%% of strict (%.1f%% saved)\n",
-		100*float64(res.TotalCycles)/float64(strict),
-		100*(1-float64(res.TotalCycles)/float64(strict)))
+	if strict > 0 {
+		fmt.Fprintf(out, "normalized:         %.1f%% of strict (%.1f%% saved)\n",
+			100*float64(res.TotalCycles)/float64(strict),
+			100*(1-float64(res.TotalCycles)/float64(strict)))
+	} else {
+		fmt.Fprintf(out, "normalized:         n/a (strict baseline is zero)\n")
+	}
+	return nil
+}
+
+// cmdTrace summarizes a Chrome trace-event file exported by
+// run-remote -trace: event and span totals plus the busiest lanes.
+func cmdTrace(args []string, out io.Writer) error {
+	if len(args) != 1 || strings.HasPrefix(args[0], "-") {
+		return fmt.Errorf("trace: usage: nonstrict trace <file>")
+	}
+	f, err := os.Open(args[0])
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	sum, err := nonstrict.ParseTrace(f)
+	if err != nil {
+		return fmt.Errorf("trace: %s: %w", args[0], err)
+	}
+	fmt.Fprintf(out, "%s: %d events spanning %.3fms (%d dropped at capture)\n",
+		args[0], sum.Events, sum.SpanUS/1000, sum.Dropped)
+	names := make([]string, 0, len(sum.ByName))
+	for n := range sum.ByName {
+		names = append(names, n)
+	}
+	sort.Slice(names, func(i, j int) bool {
+		if sum.ByName[names[i]] != sum.ByName[names[j]] {
+			return sum.ByName[names[i]] > sum.ByName[names[j]]
+		}
+		return names[i] < names[j]
+	})
+	if len(names) > 10 {
+		names = names[:10]
+	}
+	for _, n := range names {
+		fmt.Fprintf(out, "  %6d  %s\n", sum.ByName[n], n)
+	}
 	return nil
 }

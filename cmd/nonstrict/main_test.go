@@ -5,6 +5,9 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"os"
+	"path/filepath"
+	"strconv"
 	"strings"
 	"testing"
 
@@ -340,5 +343,160 @@ func TestServeAndRunRemoteWithFaults(t *testing.T) {
 	}
 	if size > 600 && strings.Contains(out, " 0 resumes)") {
 		t.Errorf("run-remote reported no resumes over a dropping link:\n%s", out)
+	}
+}
+
+// httpGet fetches one URL or fails the test.
+func httpGet(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: %s\n%s", url, resp.Status, b)
+	}
+	return string(b)
+}
+
+// metricValue extracts one sample from a Prometheus text exposition.
+// name may include a label set, e.g. `x_total{kind="drop"}`.
+func metricValue(t *testing.T, metrics, name string) int64 {
+	t.Helper()
+	for _, line := range strings.Split(metrics, "\n") {
+		if rest, ok := strings.CutPrefix(line, name+" "); ok {
+			v, err := strconv.ParseInt(strings.TrimSpace(rest), 10, 64)
+			if err != nil {
+				t.Fatalf("metric %s: bad value %q", name, rest)
+			}
+			return v
+		}
+	}
+	t.Fatalf("metric %s not found in:\n%s", name, metrics)
+	return 0
+}
+
+// TestServeMetricsDuringChaos: the serve command must expose scrapeable
+// Prometheus counters while a chaos schedule runs — request and byte
+// totals from real traffic and fault injections attributed by kind —
+// plus the same numbers over expvar at /debug/vars.
+func TestServeMetricsDuringChaos(t *testing.T) {
+	srv, _, err := newServer("Hanoi", 0, stream.Fault{FlakyTOC: 1, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(ln)
+	defer srv.Close()
+	base := "http://" + ln.Addr().String()
+
+	// Scrapeable before any traffic: all counters present and zero.
+	metrics := httpGet(t, base+"/metrics")
+	if got := metricValue(t, metrics, "nonstrict_http_requests_total"); got != 0 {
+		t.Errorf("pre-traffic requests = %d, want 0", got)
+	}
+	metricValue(t, metrics, "nonstrict_active_streams")
+
+	out := capture(t, "run-remote", base+"/app", "-name", "Hanoi", "-backoff", "1ms", "-latencies", "0")
+	if !strings.Contains(out, "self-check: ok") {
+		t.Fatalf("run-remote under flaky TOC failed:\n%s", out)
+	}
+
+	metrics = httpGet(t, base+"/metrics")
+	// The client fetched /app, failed once on /app.toc, then got it.
+	if got := metricValue(t, metrics, "nonstrict_http_requests_total"); got < 3 {
+		t.Errorf("requests_total = %d, want >= 3 (app + toc retry + toc)", got)
+	}
+	if got := metricValue(t, metrics, "nonstrict_bytes_served_total"); got <= 0 {
+		t.Errorf("bytes_served_total = %d, want > 0", got)
+	}
+	if got := metricValue(t, metrics, `nonstrict_fault_injections_total{kind="flaky_toc"}`); got < 1 {
+		t.Errorf("flaky_toc injections = %d, want >= 1", got)
+	}
+	if got := metricValue(t, metrics, "nonstrict_active_streams"); got != 0 {
+		t.Errorf("active_streams = %d after the run, want 0", got)
+	}
+	for _, typ := range []string{"# TYPE nonstrict_http_requests_total counter", "# TYPE nonstrict_active_streams gauge"} {
+		if !strings.Contains(metrics, typ) {
+			t.Errorf("exposition missing %q:\n%s", typ, metrics)
+		}
+	}
+
+	vars := httpGet(t, base+"/debug/vars")
+	for _, want := range []string{`"nonstrict"`, `"bytes_served"`, `"range_requests"`} {
+		if !strings.Contains(vars, want) {
+			t.Errorf("/debug/vars missing %s:\n%s", want, vars)
+		}
+	}
+}
+
+// TestRunRemoteTraceAndSummary: -trace exports a Chrome trace the trace
+// subcommand can round-trip, and -trace-summary prints a stall
+// attribution whose components sum to each measured latency, beside the
+// simulator's predicted stalls.
+func TestRunRemoteTraceAndSummary(t *testing.T) {
+	srv, _, err := newServer("Hanoi", 0, stream.Fault{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(ln)
+	defer srv.Close()
+
+	path := filepath.Join(t.TempDir(), "run.trace.json")
+	url := "http://" + ln.Addr().String() + "/app"
+	out := capture(t, "run-remote", url, "-name", "Hanoi",
+		"-backoff", "1ms", "-latencies", "0", "-trace", path, "-trace-summary")
+	if !strings.Contains(out, "self-check: ok") {
+		t.Fatalf("traced run-remote failed:\n%s", out)
+	}
+	if !strings.Contains(out, "events written to "+path) {
+		t.Errorf("run-remote output missing the trace report:\n%s", out)
+	}
+	if strings.Contains(out, "trace: 0 events") {
+		t.Errorf("trace recorded no events:\n%s", out)
+	}
+	if !strings.Contains(out, "stall attribution (measured; sim prediction:") {
+		t.Errorf("run-remote output missing the attribution table:\n%s", out)
+	}
+	// The decomposition is exact by construction; "within 0s" is the
+	// paper-criterion (±1ms) met with no slack at all.
+	if !strings.Contains(out, "attribution check: components sum to latency within 0s") {
+		t.Errorf("attribution components do not sum to the measured latencies:\n%s", out)
+	}
+	if !strings.Contains(out, "predicted stalls") {
+		t.Errorf("attribution table missing the simulator comparison:\n%s", out)
+	}
+
+	// Round-trip the exported file through the trace subcommand.
+	sum := capture(t, "trace", path)
+	if !strings.Contains(sum, "events spanning") || strings.Contains(sum, " 0 events") {
+		t.Errorf("trace summary output:\n%s", sum)
+	}
+
+	// Error paths.
+	if err := captureErr(t, "trace"); err == nil {
+		t.Error("trace without a file succeeded")
+	}
+	if err := captureErr(t, "trace", filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Error("trace of a missing file succeeded")
+	}
+	junk := filepath.Join(t.TempDir(), "junk.json")
+	if err := os.WriteFile(junk, []byte("not a trace"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := captureErr(t, "trace", junk); err == nil {
+		t.Error("trace of a non-trace file succeeded")
 	}
 }

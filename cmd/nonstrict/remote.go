@@ -5,6 +5,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"os"
 	"strings"
 	"time"
 
@@ -30,8 +31,10 @@ func cmdRunRemote(ctx context.Context, args []string, out io.Writer) error {
 	stats := fs.Bool("stats", false, "print the simulator's predicted overlap next to the measured run")
 	nlat := fs.Int("latencies", 10, "first-invocation latencies to print (0 = none, -1 = all)")
 	gate := fs.Duration("gate-timeout", 0, "availability-gate deadline per first invocation (0 = default 30s, negative = no deadline)")
+	traceOut := fs.String("trace", "", "write a Chrome trace-event JSON of the run to this file")
+	traceSummary := fs.Bool("trace-summary", false, "print the per-method stall attribution beside the simulator's predicted stalls")
 	if len(args) == 0 || strings.HasPrefix(args[0], "-") {
-		return fmt.Errorf("run-remote: usage: nonstrict run-remote <url> -name <benchmark> [-train] [-stats] [-latencies N] [-timeout D] [-retries N] [-backoff D] [-gate-timeout D]")
+		return fmt.Errorf("run-remote: usage: nonstrict run-remote <url> -name <benchmark> [-train] [-stats] [-latencies N] [-timeout D] [-retries N] [-backoff D] [-gate-timeout D] [-trace FILE] [-trace-summary]")
 	}
 	url := args[0]
 	if err := fs.Parse(args[1:]); err != nil {
@@ -50,6 +53,11 @@ func cmdRunRemote(ctx context.Context, args []string, out io.Writer) error {
 		MaxRetries:     *retries,
 		BackoffBase:    *backoff,
 	}
+	var rec *nonstrict.Recorder
+	if *traceOut != "" || *traceSummary {
+		rec = nonstrict.NewRecorder(0)
+		client.Obs = rec
+	}
 	m, st, err := live.Run(ctx, live.Options{
 		URL:         url,
 		TOCURL:      url + ".toc",
@@ -57,10 +65,17 @@ func cmdRunRemote(ctx context.Context, args []string, out io.Writer) error {
 		MainClass:   app.IR.Main,
 		Client:      client,
 		GateTimeout: *gate,
+		Obs:         rec,
 		Run:         nonstrict.RunOptions{Args: app.Args(*train)},
 	})
 	if err != nil {
 		return err
+	}
+	if *traceOut != "" {
+		if werr := writeTraceFile(*traceOut, rec); werr != nil {
+			return werr
+		}
+		fmt.Fprintf(out, "trace: %d events written to %s (%d dropped)\n", rec.Len(), *traceOut, rec.Dropped())
 	}
 	if err := app.Check(m, *train); err != nil {
 		return fmt.Errorf("run-remote: self-check failed: %w", err)
@@ -101,6 +116,12 @@ func cmdRunRemote(ctx context.Context, args []string, out io.Writer) error {
 		}
 	}
 
+	if *traceSummary {
+		if err := printStallAttribution(out, app.Name, st); err != nil {
+			return err
+		}
+	}
+
 	if *stats {
 		if err := printSimPrediction(out, app.Name, st); err != nil {
 			return err
@@ -108,6 +129,75 @@ func cmdRunRemote(ctx context.Context, args []string, out io.Writer) error {
 	}
 	return nil
 }
+
+// writeTraceFile exports the run's recorded events as Chrome
+// trace-event JSON (load via chrome://tracing or https://ui.perfetto.dev).
+func writeTraceFile(path string, rec *nonstrict.Recorder) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := nonstrict.WriteTrace(f, rec.Events(), rec.Dropped()); err != nil {
+		f.Close()
+		return fmt.Errorf("run-remote: writing trace: %w", err)
+	}
+	return f.Close()
+}
+
+// printStallAttribution decomposes every measured first-invocation
+// latency into execute / transfer-wait / repair-wait / gate-wait — the
+// components sum to the latency exactly, by construction — and prints
+// the simulator's predicted stall for the same method (SCG prediction,
+// interleaved transfer, modem link) beside each row that has one.
+func printStallAttribution(out io.Writer, name string, st *live.Stats) error {
+	b, err := nonstrict.LoadBenchmark(name)
+	if err != nil {
+		return err
+	}
+	res, err := b.Simulate(nonstrict.Variant{
+		Order:  nonstrict.SCG,
+		Engine: nonstrict.Interleaved,
+		Mode:   nonstrict.NonStrict,
+		Link:   nonstrict.Modem,
+	})
+	if err != nil {
+		return err
+	}
+	predicted := make(map[nonstrict.Ref]int64, len(res.Stalls))
+	for _, s := range res.Stalls {
+		predicted[s.Method] = s.Cycles
+	}
+
+	attrs := st.Attributions()
+	fmt.Fprintf(out, "stall attribution (measured; sim prediction: order=scg engine=interleaved link=modem):\n")
+	fmt.Fprintf(out, "  %-28s %12s %12s %12s %12s %12s  %s\n",
+		"method", "latency", "execute", "transfer", "repair", "gate", "sim-stall")
+	var worst time.Duration
+	for _, a := range attrs {
+		sum := a.Execute + a.Transfer + a.Repair + a.Gate
+		if d := sum - a.Latency; d > worst {
+			worst = d
+		} else if d := a.Latency - sum; d > worst {
+			worst = d
+		}
+		sim := "-"
+		if cyc, ok := predicted[a.Method]; ok {
+			sim = fmt.Sprintf("%d cyc", cyc)
+		}
+		mark := ""
+		if a.Demand {
+			mark = "  [demand]"
+		}
+		fmt.Fprintf(out, "  %-28s %12v %12v %12v %12v %12v  %s%s\n",
+			a.Method.String(), round(a.Latency), round(a.Execute), round(a.Transfer),
+			round(a.Repair), round(a.Gate), sim, mark)
+	}
+	fmt.Fprintf(out, "  attribution check: components sum to latency within %v across %d methods (sim: %d predicted stalls, %d cycles total)\n",
+		worst, len(attrs), res.StallEvents, res.StallCycles)
+	return nil
+}
+
+func round(d time.Duration) time.Duration { return d.Round(time.Microsecond) }
 
 // printSimPrediction runs the cycle simulator on the same benchmark in
 // the configuration run-remote mirrors — static prediction, interleaved
@@ -130,8 +220,12 @@ func printSimPrediction(out io.Writer, name string, st *live.Stats) error {
 			return err
 		}
 		strict := b.StrictTotal(link)
-		fmt.Fprintf(out, "  %-6s predicted overlap %5.1f%%, %5.1f%% of strict, %d mispredicts\n",
-			link.Name+":", 100*res.Overlap(), 100*float64(res.TotalCycles)/float64(strict), res.Mispredicts)
+		norm := "  n/a"
+		if strict > 0 {
+			norm = fmt.Sprintf("%5.1f%%", 100*float64(res.TotalCycles)/float64(strict))
+		}
+		fmt.Fprintf(out, "  %-6s predicted overlap %5.1f%%, %s of strict, %d mispredicts\n",
+			link.Name+":", 100*res.Overlap(), norm, res.Mispredicts)
 	}
 	fmt.Fprintf(out, "  measured: overlap %.1f%%, %d mispredicts (wall-clock, link-speed dependent)\n",
 		100*st.Overlap(), st.Mispredicts)

@@ -3,12 +3,15 @@ package main
 import (
 	"bytes"
 	"context"
+	"expvar"
 	"flag"
 	"fmt"
 	"io"
 	"net"
 	"net/http"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"nonstrict"
@@ -22,7 +25,11 @@ import (
 // client can continue after a dropped connection, and the chaos flags
 // (-drop-every, -corrupt-every, -stall-after, -truncate-after,
 // -garbage-range-every, -flaky-toc, -latency) inject a deterministic,
-// seeded fault schedule for demonstrating exactly that.
+// seeded fault schedule for demonstrating exactly that. The server also
+// exposes Prometheus-format counters at /metrics — bytes served, Range
+// requests, in-flight streams, and fault injections by kind — and the
+// same numbers as JSON at /debug/vars, so a chaos run can be watched
+// from the outside.
 func cmdServe(ctx context.Context, args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
 	addr := fs.String("addr", "127.0.0.1:0", "listen address")
@@ -63,6 +70,7 @@ func cmdServe(ctx context.Context, args []string, out io.Writer) error {
 		return err
 	}
 	fmt.Fprintf(out, "serving %s (%d stream bytes) at http://%s/app\n", name, size, ln.Addr())
+	fmt.Fprintf(out, "metrics at http://%s/metrics (expvar at /debug/vars)\n", ln.Addr())
 	if fault.Enabled() {
 		fmt.Fprintf(out, "fault injection: drop-every=%d corrupt-every=%d stall-after=%d/%v truncate-after=%d garbage-range-every=%d flaky-toc=%d latency=%v seed=%#x\n",
 			fault.DropEvery, fault.CorruptEvery, fault.StallAfter, fault.StallFor,
@@ -123,7 +131,121 @@ func newServer(name string, rate int, fault stream.Fault) (*http.Server, int64, 
 	mux.HandleFunc("/app.toc", func(rw http.ResponseWriter, req *http.Request) {
 		http.ServeContent(rw, req, "app.toc.json", time.Time{}, bytes.NewReader(toc))
 	})
-	return &http.Server{Handler: fault.Wrap(mux)}, w.Size(), nil
+	// Monitoring sits OUTSIDE the fault layer — the chaos schedule must
+	// never corrupt the instruments watching it — while the counting
+	// middleware sits outside too, so bytesServed measures what actually
+	// went on the wire, faults included.
+	metrics := &serveMetrics{faults: &stream.FaultStats{}}
+	fault.Counters = metrics.faults
+	outer := http.NewServeMux()
+	outer.Handle("/metrics", metrics.handler())
+	outer.Handle("/debug/vars", expvar.Handler())
+	outer.Handle("/", metrics.wrap(fault.Wrap(mux)))
+	publishExpvars(metrics)
+	return &http.Server{Handler: outer}, w.Size(), nil
+}
+
+// serveMetrics counts what the code server hands out. All fields are
+// updated atomically; /metrics renders them in Prometheus text format
+// with no dependency beyond the standard library.
+type serveMetrics struct {
+	requests      atomic.Int64
+	rangeRequests atomic.Int64
+	bytesServed   atomic.Int64
+	activeStreams atomic.Int64
+	faults        *stream.FaultStats
+}
+
+func (m *serveMetrics) wrap(h http.Handler) http.Handler {
+	return http.HandlerFunc(func(rw http.ResponseWriter, req *http.Request) {
+		m.requests.Add(1)
+		if req.Header.Get("Range") != "" {
+			m.rangeRequests.Add(1)
+		}
+		m.activeStreams.Add(1)
+		defer m.activeStreams.Add(-1)
+		h.ServeHTTP(&countingWriter{rw: rw, n: &m.bytesServed}, req)
+	})
+}
+
+func (m *serveMetrics) handler() http.Handler {
+	return http.HandlerFunc(func(rw http.ResponseWriter, req *http.Request) {
+		rw.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		var b bytes.Buffer
+		counter := func(name, help string, v int64) {
+			fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+		}
+		counter("nonstrict_http_requests_total", "HTTP requests served.", m.requests.Load())
+		counter("nonstrict_range_requests_total", "Requests carrying a Range header (resumes and demand fetches).", m.rangeRequests.Load())
+		counter("nonstrict_bytes_served_total", "Response body bytes written, faults included.", m.bytesServed.Load())
+		fmt.Fprintf(&b, "# HELP nonstrict_active_streams In-flight responses.\n# TYPE nonstrict_active_streams gauge\nnonstrict_active_streams %d\n", m.activeStreams.Load())
+		fc := m.faults.Snapshot()
+		fmt.Fprintf(&b, "# HELP nonstrict_fault_injections_total Faults injected by the chaos schedule, by kind.\n# TYPE nonstrict_fault_injections_total counter\n")
+		for _, kv := range []struct {
+			kind string
+			v    int64
+		}{
+			{"drop", fc.Drops},
+			{"corrupt_byte", fc.CorruptedBytes},
+			{"stall", fc.Stalls},
+			{"truncate", fc.Truncations},
+			{"garbage_range", fc.GarbageRanges},
+			{"flaky_toc", fc.TOCFailures},
+		} {
+			fmt.Fprintf(&b, "nonstrict_fault_injections_total{kind=%q} %d\n", kv.kind, kv.v)
+		}
+		rw.Write(b.Bytes())
+	})
+}
+
+// countingWriter tallies body bytes into n. It forwards Flush so the
+// paced writer and the fault layer keep their streaming behaviour.
+type countingWriter struct {
+	rw http.ResponseWriter
+	n  *atomic.Int64
+}
+
+func (c *countingWriter) Header() http.Header  { return c.rw.Header() }
+func (c *countingWriter) WriteHeader(code int) { c.rw.WriteHeader(code) }
+
+func (c *countingWriter) Write(b []byte) (int, error) {
+	n, err := c.rw.Write(b)
+	c.n.Add(int64(n))
+	return n, err
+}
+
+func (c *countingWriter) Flush() {
+	if fl, ok := c.rw.(http.Flusher); ok {
+		fl.Flush()
+	}
+}
+
+// expvar.Publish panics on a duplicate name, so the "nonstrict" var is
+// published once per process and reads whichever server was created
+// most recently — the common case (one serve per process) and good
+// enough for tests that spin up several.
+var (
+	expvarOnce    sync.Once
+	expvarCurrent atomic.Pointer[serveMetrics]
+)
+
+func publishExpvars(m *serveMetrics) {
+	expvarCurrent.Store(m)
+	expvarOnce.Do(func() {
+		expvar.Publish("nonstrict", expvar.Func(func() any {
+			m := expvarCurrent.Load()
+			if m == nil {
+				return nil
+			}
+			return map[string]any{
+				"requests":       m.requests.Load(),
+				"range_requests": m.rangeRequests.Load(),
+				"bytes_served":   m.bytesServed.Load(),
+				"active_streams": m.activeStreams.Load(),
+				"faults":         m.faults.Snapshot(),
+			}
+		}))
+	})
 }
 
 // pacedWriter throttles the response body to simulate a slow link,

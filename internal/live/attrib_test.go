@@ -1,0 +1,108 @@
+package live
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"nonstrict/internal/classfile"
+)
+
+// TestOverlapIsAlwaysAFraction is the S1 regression: Overlap must be a
+// fraction in [0, 1] for every Stats a run can produce. Before the
+// fix, a run whose measured stall exceeded its execution window (clock
+// jitter on a fast fault-free run) reported a negative overlap, and a
+// failed run with ExecDone == 0 risked NaN/Inf in the division.
+func TestOverlapIsAlwaysAFraction(t *testing.T) {
+	cases := []struct {
+		name string
+		s    Stats
+		want float64
+	}{
+		{"zero stats", Stats{}, 0},
+		{"stall exceeds window", Stats{ExecDone: 5 * time.Millisecond, StallTime: 10 * time.Millisecond}, 0},
+		{"negative window", Stats{ExecDone: -time.Millisecond, StallTime: time.Millisecond}, 0},
+		{"negative stall jitter", Stats{ExecDone: 10 * time.Millisecond, StallTime: -time.Millisecond}, 1},
+		{"half stalled", Stats{ExecDone: 10 * time.Millisecond, StallTime: 5 * time.Millisecond}, 0.5},
+		{"no stall", Stats{ExecDone: 10 * time.Millisecond}, 1},
+	}
+	for _, c := range cases {
+		got := c.s.Overlap()
+		if math.IsNaN(got) || math.IsInf(got, 0) {
+			t.Errorf("%s: Overlap() = %v, want a finite fraction", c.name, got)
+			continue
+		}
+		if got < 0 || got > 1 {
+			t.Errorf("%s: Overlap() = %v, want within [0, 1]", c.name, got)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("%s: Overlap() = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+func TestAttributeWait(t *testing.T) {
+	ms := func(n int) time.Duration { return time.Duration(n) * time.Millisecond }
+	cases := []struct {
+		name                    string
+		began, woke, ready      time.Duration
+		repairs                 []span
+		transfer, repair, gated time.Duration
+	}{
+		{"ready before wait began", ms(10), ms(12), ms(5), nil, 0, 0, ms(2)},
+		{"ready mid-wait", ms(10), ms(30), ms(25), nil, ms(15), 0, ms(5)},
+		{"ready after woke clamps", ms(10), ms(30), ms(40), nil, ms(20), 0, 0},
+		{"repair consumes arrival", ms(10), ms(30), ms(26), []span{{ms(12), ms(20)}}, ms(8), ms(8), ms(4)},
+		{"repair clipped to window", ms(10), ms(30), ms(20), []span{{0, ms(15)}, {ms(18), ms(40)}}, ms(3), ms(7), ms(10)},
+		{"zero-length wait", ms(10), ms(10), ms(4), nil, 0, 0, 0},
+	}
+	for _, c := range cases {
+		tr, rp, gt := attributeWait(c.began, c.woke, c.ready, c.repairs)
+		if tr != c.transfer || rp != c.repair || gt != c.gated {
+			t.Errorf("%s: attributeWait = (%v, %v, %v), want (%v, %v, %v)",
+				c.name, tr, rp, gt, c.transfer, c.repair, c.gated)
+		}
+		if sum := tr + rp + gt; sum != c.woke-c.began {
+			t.Errorf("%s: components sum to %v, want the wait %v", c.name, sum, c.woke-c.began)
+		}
+	}
+}
+
+// TestAttributionsSumToLatency pins the report's headline invariant:
+// for every first invocation, Execute + Transfer + Repair + Gate ==
+// Latency exactly — the decomposition never invents or loses time.
+func TestAttributionsSumToLatency(t *testing.T) {
+	ms := func(n int) time.Duration { return time.Duration(n) * time.Millisecond }
+	ref := func(n string) classfile.Ref { return classfile.Ref{Class: "Main", Name: n} }
+	s := &Stats{Waits: []Wait{
+		{Method: ref("main"), At: ms(2), Wait: ms(40), Transfer: ms(30), Repair: ms(6), Gate: ms(4)},
+		{Method: ref("a"), At: ms(60), Wait: 0},
+		{Method: ref("b"), At: ms(75), Wait: ms(10), Transfer: ms(3), Repair: 0, Gate: ms(7), Demand: true},
+		{Method: ref("c"), At: ms(300), Wait: ms(1), Transfer: ms(1)},
+	}}
+	attrs := s.Attributions()
+	if len(attrs) != len(s.Waits) {
+		t.Fatalf("got %d attributions, want %d", len(attrs), len(s.Waits))
+	}
+	for i, a := range attrs {
+		w := s.Waits[i]
+		if a.Method != w.Method || a.Demand != w.Demand {
+			t.Errorf("attribution %d: identity %v/%v does not match wait %v/%v", i, a.Method, a.Demand, w.Method, w.Demand)
+		}
+		if a.Latency != w.At+w.Wait {
+			t.Errorf("%v: Latency = %v, want %v", a.Method, a.Latency, w.At+w.Wait)
+		}
+		if sum := a.Execute + a.Transfer + a.Repair + a.Gate; sum != a.Latency {
+			t.Errorf("%v: components sum to %v, want Latency %v", a.Method, sum, a.Latency)
+		}
+	}
+	// Spot-check the cumulative execute: method b ran after 62ms of
+	// prior execution was interleaved with 40ms of waiting.
+	if got, want := attrs[2].Execute, ms(75)-ms(40); got != want {
+		t.Errorf("b: Execute = %v, want %v", got, want)
+	}
+	if got, want := attrs[2].Transfer, ms(33); got != want {
+		t.Errorf("b: cumulative Transfer = %v, want %v", got, want)
+	}
+}

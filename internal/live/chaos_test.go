@@ -8,6 +8,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -333,4 +334,89 @@ func TestGateTimeoutDisabled(t *testing.T) {
 		t.Fatal(err)
 	}
 	checkRun(t, p, m, want)
+}
+
+// TestChaosGarbageRangeDoesNotPoisonTOC is the chaos-harness regression
+// test for the fault layer garbaging unit-table resumes. DropEvery=128
+// interrupts the TOC transfer mid-body, forcing the client to resume it
+// with a Range request; with GarbageRangeEvery=1 every Range reply on
+// /app is bogus, so before the fix the TOC could never be fetched and
+// the run died at startup with "fetching unit table" — masking all the
+// repair behaviour the schedule was meant to exercise. The unit table
+// is exempt now: the run may still fail cleanly (every /app resume IS
+// garbage), but never because the table was unfetchable.
+func TestChaosGarbageRangeDoesNotPoisonTOC(t *testing.T) {
+	p := plan(t, "Hanoi")
+	want := reference(t, p)
+	if int64(len(p.toc)) <= 128 {
+		t.Fatalf("unit table only %d bytes; the drop schedule cannot force a resume", len(p.toc))
+	}
+	_, err := chaosRun(t, p, want, stream.Fault{DropEvery: 128, GarbageRangeEvery: 1, Seed: 21}, fastClient())
+	if err != nil && strings.Contains(err.Error(), "fetching unit table") {
+		t.Fatalf("unit-table fetch poisoned by the garbage-range schedule: %v", err)
+	}
+}
+
+// TestDemandFetchSurvivesSplicedCorruption is the S4 regression at the
+// demand-fetch layer. A server drops the connection right after a
+// corrupted prefix, so a client resuming from the last RECEIVED byte
+// assembles a poisoned payload. Before the fix, fetchUnit burned a
+// fixed three-attempt budget on such splices with no backoff and gave
+// up; now the client restarts from the last VERIFIED byte (the range
+// start) under its full retry budget, so five consecutive poisonings
+// still end in a verified payload.
+func TestDemandFetchSurvivesSplicedCorruption(t *testing.T) {
+	p := plan(t, "Hanoi")
+	toc := parseTOC(t, p)
+	var u stream.UnitInfo
+	for _, cand := range toc {
+		if cand.Len >= 32 {
+			u = cand
+			break
+		}
+	}
+	if u.Len < 32 {
+		t.Fatal("no unit large enough to splice")
+	}
+
+	const poisonings = 5
+	var poisoned atomic.Int64
+	mux := http.NewServeMux()
+	mux.HandleFunc("/app", func(w http.ResponseWriter, r *http.Request) {
+		var from, to int64 = -1, -1
+		fmt.Sscanf(r.Header.Get("Range"), "bytes=%d-%d", &from, &to)
+		if from == u.Off && poisoned.Load() < poisonings {
+			poisoned.Add(1)
+			w.Header().Set("Content-Range", fmt.Sprintf("bytes %d-%d/%d", from, to, len(p.data)))
+			w.WriteHeader(http.StatusPartialContent)
+			prefix := append([]byte(nil), p.data[from:from+16]...)
+			prefix[0] ^= 0x5a
+			w.Write(prefix)
+			w.(http.Flusher).Flush()
+			panic(http.ErrAbortHandler)
+		}
+		http.ServeContent(w, r, "app.bin", time.Time{}, bytes.NewReader(p.data))
+	})
+	srv := httptest.NewServer(mux)
+	t.Cleanup(srv.Close)
+
+	rt := &runtime{
+		opts:   Options{URL: srv.URL + "/app"},
+		client: fastClient(),
+		ctx:    context.Background(),
+	}
+	payload, err := rt.fetchUnit(u)
+	if err != nil {
+		t.Fatalf("fetchUnit under %d poisonings: %v", poisonings, err)
+	}
+	if stream.ChecksumPayload(payload) != u.CRC {
+		t.Fatal("fetchUnit returned an unverified payload")
+	}
+	if got := poisoned.Load(); got != poisonings {
+		t.Fatalf("server poisoned %d fetches, want %d", got, poisonings)
+	}
+	if rt.demands != 1 || rt.refetches != poisonings {
+		t.Fatalf("demands = %d, refetches = %d; want 1 demand and %d refetches",
+			rt.demands, rt.refetches, poisonings)
+	}
 }

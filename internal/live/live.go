@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"nonstrict/internal/classfile"
+	"nonstrict/internal/obs"
 	"nonstrict/internal/stream"
 	"nonstrict/internal/vm"
 )
@@ -52,6 +53,13 @@ type Options struct {
 	// AwaitClass) and the post-execution stream drain. Zero means
 	// DefaultGateTimeout; negative disables the deadline entirely.
 	GateTimeout time.Duration
+	// Obs, when non-nil, records gate crossings, demand fetches,
+	// repairs, degradation, first invocations, and the loader's
+	// unit-level events for tracing. The fetch client's recorder is NOT
+	// set from here — a shared Client may be serving concurrent runs —
+	// so callers who also want transfer events (retries, resumes) set
+	// Client.Obs themselves before the first request.
+	Obs *obs.Recorder
 	// Run is passed to the VM.
 	Run vm.Options
 }
@@ -65,6 +73,13 @@ type Wait struct {
 	// Wait is how long the VM blocked before the method's bytes were in
 	// (zero when the stream was ahead of execution).
 	Wait time.Duration
+	// Transfer, Repair, and Gate decompose Wait: time blocked while the
+	// method's bytes were still in flight (main stream or demand fetch),
+	// time blocked inside integrity-repair re-fetches of corrupt units,
+	// and the residual between the bytes being ready and the waiter
+	// actually proceeding (wakeup latency, lock handoff). They sum to
+	// Wait exactly, by construction.
+	Transfer, Repair, Gate time.Duration
 	// Demand reports that the bytes came via a demand fetch rather than
 	// in predicted stream order.
 	Demand bool
@@ -105,12 +120,74 @@ type Stats struct {
 }
 
 // Overlap is the fraction of the execution window not spent stalled —
-// the measured analog of sim.Result.Overlap.
+// the measured analog of sim.Result.Overlap. It is always in [0, 1]:
+// a zero or negative execution window (a run that failed before the
+// clock meaningfully advanced) yields 0 rather than NaN or ±Inf, and
+// measurement jitter that lands StallTime outside the window is
+// clamped rather than reported as a nonsense ratio.
 func (s *Stats) Overlap() float64 {
 	if s.ExecDone <= 0 {
 		return 0
 	}
-	return 1 - float64(s.StallTime)/float64(s.ExecDone)
+	o := 1 - float64(s.StallTime)/float64(s.ExecDone)
+	switch {
+	case o < 0:
+		return 0
+	case o > 1:
+		return 1
+	}
+	return o
+}
+
+// Attribution decomposes one method's measured first-invocation
+// latency — run start to the method's body entering execution — into
+// where the time went. Execute + Transfer + Repair + Gate == Latency
+// exactly, by construction: the three wait components accumulate every
+// gate crossing up to and including this one, and Execute is whatever
+// the run spent outside the method gate (executing, linking, and any
+// class-global gate waits).
+type Attribution struct {
+	// Method is the invoked method.
+	Method classfile.Ref
+	// Latency is run start → first instruction of Method.
+	Latency time.Duration
+	// Execute is time spent off the method gate before this invocation.
+	Execute time.Duration
+	// Transfer is cumulative gate time spent waiting on bytes in flight.
+	Transfer time.Duration
+	// Repair is cumulative gate time spent inside integrity repairs.
+	Repair time.Duration
+	// Gate is cumulative residual gate overhead (wakeup, lock handoff).
+	Gate time.Duration
+	// Demand marks that this method's bytes came via a demand fetch.
+	Demand bool
+}
+
+// Attributions derives the per-method stall attribution from the run's
+// gate crossings, in execution order.
+func (s *Stats) Attributions() []Attribution {
+	out := make([]Attribution, 0, len(s.Waits))
+	var waited, transfer, repair, gate time.Duration
+	for _, w := range s.Waits {
+		exec := w.At - waited
+		if exec < 0 {
+			exec = 0 // clock-granularity slop; waits cannot overlap
+		}
+		transfer += w.Transfer
+		repair += w.Repair
+		gate += w.Gate
+		waited += w.Wait
+		out = append(out, Attribution{
+			Method:   w.Method,
+			Latency:  w.At + w.Wait,
+			Execute:  exec,
+			Transfer: transfer,
+			Repair:   repair,
+			Gate:     gate,
+			Demand:   w.Demand,
+		})
+	}
+	return out
 }
 
 // runtime is the shared state between the transfer, demand, and VM
@@ -124,7 +201,15 @@ type runtime struct {
 	loader *stream.Loader
 	lv     *vm.LiveLinked
 	toc    []stream.UnitInfo
+	obs    *obs.Recorder
 	start  time.Time
+
+	// now and afterFunc are the gate's time sources, injectable for
+	// deterministic deadline tests; nil means the real clock. The gate
+	// treats now as advisory wall time (measurement only) and afterFunc
+	// as the sole monotonic authority for deadlines — see AwaitMethod.
+	now       func() time.Time
+	afterFunc func(time.Duration, func()) gateTimer
 
 	mu          sync.Mutex
 	cond        *sync.Cond
@@ -132,6 +217,9 @@ type runtime struct {
 	methodReady map[classfile.Ref]bool
 	demanded    map[classfile.Ref]bool // method demand launched
 	classDem    map[string]bool        // class-global demand launched
+	methodsAt   map[classfile.Ref]time.Duration
+	classesAt   map[string]time.Duration
+	repairSpans []span // completed integrity-repair windows, in order
 	err         error
 	degraded    error // main stream died but the demand path can finish the run
 	done        bool  // main stream fully consumed (or failed)
@@ -142,6 +230,63 @@ type runtime struct {
 	demands     int
 	mispredicts int
 	refetches   int
+}
+
+// gateTimer is the slice of *time.Timer the gate needs, so tests can
+// substitute a hand-cranked clock.
+type gateTimer interface{ Stop() bool }
+
+// span is a half-open window [From, To) measured from run start.
+type span struct{ From, To time.Duration }
+
+func (rt *runtime) clockNow() time.Time {
+	if rt.now != nil {
+		return rt.now()
+	}
+	return time.Now()
+}
+
+func (rt *runtime) armGate(d time.Duration, f func()) gateTimer {
+	if rt.afterFunc != nil {
+		return rt.afterFunc(d, f)
+	}
+	return time.AfterFunc(d, f)
+}
+
+// sinceStart is the run clock: elapsed time since Run began.
+func (rt *runtime) sinceStart() time.Duration { return rt.clockNow().Sub(rt.start) }
+
+// attributeWait splits one gate wait [began, woke) into its transfer /
+// repair / gate components. ready is when the awaited bytes became
+// usable; repairs are the completed repair windows. The three parts sum
+// to woke-began exactly: arrival time before ready is transfer except
+// where a repair window overlaps it, and everything after ready is
+// residual gate overhead.
+func attributeWait(began, woke, ready time.Duration, repairs []span) (transfer, repair, gate time.Duration) {
+	if ready < began {
+		ready = began
+	}
+	if ready > woke {
+		ready = woke
+	}
+	for _, s := range repairs {
+		from, to := s.From, s.To
+		if from < began {
+			from = began
+		}
+		if to > ready {
+			to = ready
+		}
+		if to > from {
+			repair += to - from
+		}
+	}
+	if arrive := ready - began; repair > arrive {
+		repair = arrive
+	}
+	transfer = ready - began - repair
+	gate = woke - ready
+	return transfer, repair, gate
 }
 
 // Run executes the program at opts.URL while it streams in, returning
@@ -156,12 +301,16 @@ func Run(ctx context.Context, opts Options) (*vm.Machine, *Stats, error) {
 		opts:        opts,
 		client:      client,
 		loader:      stream.NewLoader(opts.Name, opts.MainClass, nil),
+		obs:         opts.Obs,
 		classReady:  make(map[string]bool),
 		methodReady: make(map[classfile.Ref]bool),
 		demanded:    make(map[classfile.Ref]bool),
 		classDem:    make(map[string]bool),
+		methodsAt:   make(map[classfile.Ref]time.Duration),
+		classesAt:   make(map[string]time.Duration),
 	}
 	rt.cond = sync.NewCond(&rt.mu)
+	rt.loader.Obs = opts.Obs
 	rt.lv = vm.NewLive(opts.Name, opts.MainClass, rt)
 
 	if opts.TOCURL != "" {
@@ -183,15 +332,25 @@ func Run(ctx context.Context, opts Options) (*vm.Machine, *Stats, error) {
 	tctx, tcancel := context.WithCancel(ctx)
 	defer tcancel()
 	rt.ctx = tctx
-	rt.start = time.Now()
+	rt.start = rt.clockNow()
 	transferDone := make(chan struct{})
 	go func() {
 		defer close(transferDone)
 		rt.transferLoop(tctx)
 	}()
 
-	m, runErr := rt.lv.Run(opts.Run)
-	execDone := time.Since(rt.start)
+	runOpts := opts.Run
+	if rt.obs != nil {
+		inner := runOpts.OnFirstUse
+		runOpts.OnFirstUse = func(ref classfile.Ref) {
+			rt.obs.Emit(obs.FirstInvocation, ref.String(), 0, 0)
+			if inner != nil {
+				inner(ref)
+			}
+		}
+	}
+	m, runErr := rt.lv.Run(runOpts)
+	execDone := rt.sinceStart()
 	if runErr != nil {
 		tcancel() // abandon whatever is still streaming
 	}
@@ -257,11 +416,12 @@ func (rt *runtime) transferLoop(ctx context.Context) {
 	}()
 	rt.mu.Lock()
 	rt.done = true
-	rt.transferEnd = time.Since(rt.start)
+	rt.transferEnd = rt.sinceStart()
 	if err != nil && ctx.Err() == nil {
 		if rt.toc != nil && degradable(err) {
 			if rt.degraded == nil {
 				rt.degraded = fmt.Errorf("live: transfer: %w", err)
+				rt.obs.Emit(obs.Degraded, err.Error(), 0, 0)
 			}
 		} else if rt.err == nil {
 			rt.err = fmt.Errorf("live: transfer: %w", err)
@@ -296,12 +456,22 @@ func (rt *runtime) handleEvent(e stream.Event) error {
 			return err
 		}
 		rt.mu.Lock()
-		rt.classReady[e.Class] = true
+		if !rt.classReady[e.Class] {
+			rt.classReady[e.Class] = true
+			if rt.classesAt != nil {
+				rt.classesAt[e.Class] = rt.sinceStart()
+			}
+		}
 		rt.mu.Unlock()
 		rt.cond.Broadcast()
 	case stream.MethodReady:
 		rt.mu.Lock()
-		rt.methodReady[e.Method] = true
+		if !rt.methodReady[e.Method] {
+			rt.methodReady[e.Method] = true
+			if rt.methodsAt != nil {
+				rt.methodsAt[e.Method] = rt.sinceStart()
+			}
+		}
 		rt.mu.Unlock()
 		rt.cond.Broadcast()
 	}
@@ -330,39 +500,35 @@ func gateTimeout(d time.Duration) time.Duration {
 	return d
 }
 
-// gateDeadline returns the absolute deadline for one gate wait, or the
-// zero time when deadlines are disabled.
-func (rt *runtime) gateDeadline() time.Time {
-	if d := gateTimeout(rt.opts.GateTimeout); d > 0 {
-		return time.Now().Add(d)
+// gateBudget arms the deadline for one gate wait: a single timer for
+// the wait's whole budget, armed once at entry, that flips *expired
+// under rt.mu and broadcasts. The returned stop releases the timer.
+//
+// The budget is deliberately a DURATION handed to one timer, never an
+// absolute deadline re-derived from the clock. The previous
+// implementation re-armed a fresh timer on every spurious wakeup with
+// the remaining budget recomputed by wall-clock subtraction; any step
+// between the clock readings — a suspended host, NTP slew, a VM
+// migration — inflated or collapsed the remaining budget, so the
+// deadline could fire arbitrarily early or never. A duration-based
+// timer tracks the monotonic clock, and because the budget is never
+// recomputed, a wall step cannot touch it.
+//
+// The expired flag is written under rt.mu before the broadcast, so the
+// wakeup cannot be missed: if the waiter has not parked yet it still
+// holds rt.mu and the callback blocks until cond.Wait releases it.
+func (rt *runtime) gateBudget(expired *bool) (stop func()) {
+	d := gateTimeout(rt.opts.GateTimeout)
+	if d <= 0 {
+		return func() {}
 	}
-	return time.Time{}
-}
-
-// gateWait parks on the gate condition until the next broadcast or the
-// deadline, whichever comes first; it reports only whether the deadline
-// has passed (the caller re-checks its predicate either way). Caller
-// holds rt.mu.
-func (rt *runtime) gateWait(deadline time.Time) (timedOut bool) {
-	if deadline.IsZero() {
-		rt.cond.Wait()
-		return false
-	}
-	wait := time.Until(deadline)
-	if wait <= 0 {
-		return true
-	}
-	t := time.AfterFunc(wait, func() {
-		// The empty critical section orders the broadcast after the
-		// waiter has parked: the callback cannot take rt.mu until
-		// cond.Wait has released it, so the wakeup cannot be missed.
+	t := rt.armGate(d, func() {
 		rt.mu.Lock()
-		rt.mu.Unlock() //nolint:staticcheck // SA2001: see above
+		*expired = true
+		rt.mu.Unlock()
 		rt.cond.Broadcast()
 	})
-	rt.cond.Wait()
-	t.Stop()
-	return false
+	return func() { t.Stop() }
 }
 
 // AwaitMethod implements vm.Gate: it blocks until ref's body has
@@ -372,10 +538,13 @@ func (rt *runtime) gateWait(deadline time.Time) (timedOut bool) {
 // bounded by Options.GateTimeout, so a transfer that silently stops
 // making progress surfaces as ErrGateTimeout rather than a hang.
 func (rt *runtime) AwaitMethod(ref classfile.Ref) error {
-	began := time.Now()
-	deadline := rt.gateDeadline()
+	began := rt.clockNow()
+	expired := false
+	stop := rt.gateBudget(&expired)
+	defer stop()
 	rt.mu.Lock()
 	defer rt.mu.Unlock()
+	blocked := false
 	for !(rt.methodReady[ref] && rt.classReady[ref.Class]) {
 		if rt.err != nil {
 			return rt.err
@@ -387,29 +556,59 @@ func (rt *runtime) AwaitMethod(ref classfile.Ref) error {
 			}
 			return fmt.Errorf("live: method %v never arrived and cannot be demanded", ref)
 		}
-		if rt.gateWait(deadline) {
+		if expired {
 			return fmt.Errorf("%w: method %v not available after %v", ErrGateTimeout, ref, gateTimeout(rt.opts.GateTimeout))
 		}
+		if !blocked {
+			blocked = true
+			rt.obs.Emit(obs.GateBlock, ref.String(), 0, 0)
+		}
+		rt.cond.Wait()
 	}
-	w := time.Since(began)
+	woke := rt.clockNow()
+	w := woke.Sub(began)
+	if w < 0 {
+		w = 0 // injected clocks may be coarse or stepped
+	}
+	at := began.Sub(rt.start)
+	transfer, repair, gate := attributeWait(at, at+w, rt.methodReadyAt(ref), rt.repairSpans)
 	rt.stall += w
 	rt.waits = append(rt.waits, Wait{
-		Method: ref,
-		At:     began.Sub(rt.start),
-		Wait:   w,
-		Demand: rt.demanded[ref],
+		Method:   ref,
+		At:       at,
+		Wait:     w,
+		Transfer: transfer,
+		Repair:   repair,
+		Gate:     gate,
+		Demand:   rt.demanded[ref],
 	})
+	if blocked {
+		rt.obs.Emit(obs.GateUnblock, ref.String(), 0, w)
+	}
 	return nil
+}
+
+// methodReadyAt is when both of ref's gate conditions (body verified,
+// class linked) held, measured from run start. Caller holds rt.mu.
+func (rt *runtime) methodReadyAt(ref classfile.Ref) time.Duration {
+	ready := rt.methodsAt[ref]
+	if c := rt.classesAt[ref.Class]; c > ready {
+		ready = c
+	}
+	return ready
 }
 
 // AwaitClass implements vm.Gate: it blocks until the class's global
 // data has linked, demand-fetching the global unit when it is out of
 // predicted order. Bounded by Options.GateTimeout like AwaitMethod.
 func (rt *runtime) AwaitClass(class string) error {
-	began := time.Now()
-	deadline := rt.gateDeadline()
+	began := rt.clockNow()
+	expired := false
+	stop := rt.gateBudget(&expired)
+	defer stop()
 	rt.mu.Lock()
 	defer rt.mu.Unlock()
+	blocked := false
 	for !rt.classReady[class] {
 		if rt.err != nil {
 			return rt.err
@@ -421,11 +620,23 @@ func (rt *runtime) AwaitClass(class string) error {
 			}
 			return fmt.Errorf("live: class %q never arrived and cannot be demanded", class)
 		}
-		if rt.gateWait(deadline) {
+		if expired {
 			return fmt.Errorf("%w: class %q not available after %v", ErrGateTimeout, class, gateTimeout(rt.opts.GateTimeout))
 		}
+		if !blocked {
+			blocked = true
+			rt.obs.Emit(obs.GateBlock, "class "+class, 0, 0)
+		}
+		rt.cond.Wait()
 	}
-	rt.stall += time.Since(began)
+	w := rt.clockNow().Sub(began)
+	if w < 0 {
+		w = 0
+	}
+	rt.stall += w
+	if blocked {
+		rt.obs.Emit(obs.GateUnblock, "class "+class, 0, w)
+	}
 	return nil
 }
 
@@ -442,6 +653,7 @@ func (rt *runtime) maybeDemandMethod(ref classfile.Ref) bool {
 	}
 	rt.demanded[ref] = true
 	rt.mispredicts++
+	rt.obs.Emit(obs.DemandIssue, ref.String(), 0, 0)
 	go rt.demandMethod(ref)
 	return true
 }
@@ -458,6 +670,7 @@ func (rt *runtime) maybeDemandClass(class string) bool {
 	}
 	rt.classDem[class] = true
 	rt.mispredicts++
+	rt.obs.Emit(obs.DemandIssue, "class "+class, 0, 0)
 	go rt.demandClass(class)
 	return true
 }
@@ -510,6 +723,7 @@ func (rt *runtime) demandMethod(ref classfile.Ref) {
 			return
 		}
 	}
+	began := rt.sinceStart()
 	payload, err := rt.fetchUnit(*bodyU)
 	if err != nil {
 		rt.fail(err)
@@ -521,6 +735,7 @@ func (rt *runtime) demandMethod(ref classfile.Ref) {
 		return
 	}
 	rt.deliver(evs)
+	rt.obs.Emit(obs.DemandDone, ref.String(), int64(len(payload)), rt.sinceStart()-began)
 }
 
 // demandClass pulls a class's global unit out of the stream.
@@ -540,6 +755,7 @@ func (rt *runtime) fetchGlobal(class string) error {
 		if u.Kind != stream.KindGlobal || u.ClassName != class {
 			continue
 		}
+		began := rt.sinceStart()
 		payload, err := rt.fetchUnit(u)
 		if err != nil {
 			return err
@@ -549,38 +765,31 @@ func (rt *runtime) fetchGlobal(class string) error {
 			return err
 		}
 		rt.deliver(evs)
+		rt.obs.Emit(obs.DemandDone, "class "+class, int64(len(payload)), rt.sinceStart()-began)
 		return nil
 	}
 	return fmt.Errorf("live: class %q is not in the unit table", class)
 }
 
-// demandAttempts bounds how many times a demand or repair fetch of one
-// unit is retried when the reply fails its checksum.
-const demandAttempts = 3
-
-// fetchUnit range-fetches one unit's payload and verifies it against
-// the unit table's checksum, retrying a bounded number of times: a
-// corrupt demand reply is re-fetched, never installed.
+// fetchUnit range-fetches one unit's payload, verified against the
+// unit table's checksum by the client: a payload spliced together
+// across a reconnect that fails verification is discarded and
+// re-fetched from the range start (the last verified byte), never
+// installed and never resumed from the unverified splice point.
 func (rt *runtime) fetchUnit(u stream.UnitInfo) ([]byte, error) {
 	rt.mu.Lock()
 	rt.demands++
 	rt.mu.Unlock()
-	for attempt := 1; ; attempt++ {
-		var buf bytes.Buffer
-		if _, err := rt.client.FetchRange(rt.ctx, rt.opts.URL, u.Off, int64(u.Len), &buf); err != nil {
-			return nil, fmt.Errorf("live: demand fetch of unit at %d: %w", u.Off, err)
-		}
-		if p := buf.Bytes(); stream.ChecksumPayload(p) == u.CRC {
-			return p, nil
-		}
-		if attempt >= demandAttempts {
-			return nil, fmt.Errorf("live: demand fetch of unit at %d: %w: payload failed its checksum %d times",
-				u.Off, stream.ErrStreamIntegrity, attempt)
-		}
+	p, attempts, err := rt.client.FetchRangeVerified(rt.ctx, rt.opts.URL, u.Off, int64(u.Len), u.CRC)
+	if attempts > 1 {
 		rt.mu.Lock()
-		rt.refetches++
+		rt.refetches += attempts - 1
 		rt.mu.Unlock()
 	}
+	if err != nil {
+		return nil, fmt.Errorf("live: demand fetch of unit at %d: %w", u.Off, err)
+	}
+	return p, nil
 }
 
 // repairUnit is the loader's Repair hook: the main stream delivered a
@@ -601,14 +810,18 @@ func (rt *runtime) repairUnit(req stream.RepairRequest) ([]byte, error) {
 		return nil, fmt.Errorf("live: corrupt %d-byte unit (class %d, body %d) is not in the unit table",
 			req.Len, req.Class, req.Body)
 	}
+	began := rt.sinceStart()
 	rt.mu.Lock()
 	rt.refetches++
 	rt.mu.Unlock()
-	var buf bytes.Buffer
-	if _, err := rt.client.FetchRange(rt.ctx, rt.opts.URL, u.Off, int64(u.Len), &buf); err != nil {
+	p, _, err := rt.client.FetchRangeVerified(rt.ctx, rt.opts.URL, u.Off, int64(u.Len), u.CRC)
+	if err != nil {
 		return nil, fmt.Errorf("live: repair fetch of unit at %d: %w", u.Off, err)
 	}
-	return buf.Bytes(), nil
+	rt.mu.Lock()
+	rt.repairSpans = append(rt.repairSpans, span{From: began, To: rt.sinceStart()})
+	rt.mu.Unlock()
+	return p, nil
 }
 
 // deliver publishes demand-path loader events.

@@ -1,0 +1,217 @@
+package obs
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// fixed returns a recorder whose clock ticks step per Emit,
+// deterministically, for golden output.
+func fixed(capacity int, step time.Duration) *Recorder {
+	r := NewRecorder(capacity)
+	base := r.start
+	n := 0
+	r.now = func() time.Time {
+		n++
+		return base.Add(time.Duration(n) * step)
+	}
+	return r
+}
+
+// TestRingOverflowPolicy: a full ring drops the OLDEST events, keeps
+// the newest, counts the drops, and never resets sequence numbers.
+func TestRingOverflowPolicy(t *testing.T) {
+	const capacity = 8
+	r := fixed(capacity, time.Millisecond)
+	for i := 0; i < 3*capacity; i++ {
+		r.Emit(UnitArrived, "", int64(i), 0)
+	}
+	evs := r.Events()
+	if len(evs) != capacity {
+		t.Fatalf("retained %d events, want %d", len(evs), capacity)
+	}
+	if got, want := r.Dropped(), uint64(2*capacity); got != want {
+		t.Errorf("dropped = %d, want %d", got, want)
+	}
+	for i, e := range evs {
+		wantSeq := uint64(2*capacity + i) // the newest capacity events
+		if e.Seq != wantSeq {
+			t.Errorf("event %d: seq = %d, want %d", i, e.Seq, wantSeq)
+		}
+		if e.Bytes != int64(wantSeq) {
+			t.Errorf("event %d: payload %d, want %d", i, e.Bytes, wantSeq)
+		}
+		if i > 0 && evs[i-1].At >= e.At {
+			t.Errorf("event %d: timestamps not increasing (%v then %v)", i, evs[i-1].At, e.At)
+		}
+	}
+	if r.Len() != capacity {
+		t.Errorf("Len = %d, want %d", r.Len(), capacity)
+	}
+}
+
+// TestEventsBeforeOverflow: a ring that never filled returns exactly
+// what was emitted, in order.
+func TestEventsBeforeOverflow(t *testing.T) {
+	r := fixed(16, time.Millisecond)
+	r.Emit(GateBlock, "Main.main", 0, 0)
+	r.Emit(GateUnblock, "Main.main", 0, 5*time.Millisecond)
+	evs := r.Events()
+	if len(evs) != 2 || r.Dropped() != 0 {
+		t.Fatalf("events = %d, dropped = %d", len(evs), r.Dropped())
+	}
+	if evs[0].Kind != GateBlock || evs[1].Kind != GateUnblock {
+		t.Errorf("kinds = %v, %v", evs[0].Kind, evs[1].Kind)
+	}
+	if evs[1].Dur != 5*time.Millisecond {
+		t.Errorf("span dur = %v", evs[1].Dur)
+	}
+}
+
+// TestNilRecorderIsInert: every method of a nil recorder is a safe
+// no-op, so instrumentation sites need no guards.
+func TestNilRecorderIsInert(t *testing.T) {
+	var r *Recorder
+	r.Emit(CRCFail, "x", 1, 1)
+	if r.Events() != nil || r.Dropped() != 0 || r.Len() != 0 || r.Since() != 0 {
+		t.Error("nil recorder retained state")
+	}
+}
+
+// TestConcurrentEmit hammers one recorder from many goroutines; run
+// under -race this is the data-race check, and the retained ring must
+// stay internally consistent.
+func TestConcurrentEmit(t *testing.T) {
+	const goroutines, each = 8, 500
+	r := NewRecorder(256)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				r.Emit(Kind(i%int(Degraded+1)), "m", int64(g), time.Duration(i))
+				r.Events()
+				r.Since()
+			}
+		}(g)
+	}
+	wg.Wait()
+	evs := r.Events()
+	if len(evs) != 256 {
+		t.Fatalf("retained %d, want full ring of 256", len(evs))
+	}
+	if got, want := r.Dropped(), uint64(goroutines*each-256); got != want {
+		t.Errorf("dropped = %d, want %d", got, want)
+	}
+	for i := 1; i < len(evs); i++ {
+		if evs[i].Seq != evs[i-1].Seq+1 {
+			t.Fatalf("retained window not contiguous at %d: seq %d then %d", i, evs[i-1].Seq, evs[i].Seq)
+		}
+	}
+}
+
+// TestKindStrings: every kind has a name (the trace export keys on it).
+func TestKindStrings(t *testing.T) {
+	for k := Retry; k <= Degraded; k++ {
+		if k.String() == "" || k.String() == "unknown" {
+			t.Errorf("kind %d has no name", k)
+		}
+	}
+	if Kind(200).String() != "unknown" {
+		t.Error("out-of-range kind not flagged")
+	}
+}
+
+// TestTraceGolden: the Chrome trace export of a fixed event sequence
+// matches the checked-in golden file byte for byte, and parses back to
+// the same summary. Regenerate with -update.
+func TestTraceGolden(t *testing.T) {
+	r := fixed(64, time.Millisecond)
+	r.Emit(Resume, "/app", 512, 0)
+	r.Emit(UnitArrived, "Main", 128, 0)
+	r.Emit(CRCFail, "Fib", 64, 0)
+	r.Emit(Repaired, "Fib", 64, 2*time.Millisecond)
+	r.Emit(GateBlock, "Main.main", 0, 0)
+	r.Emit(GateUnblock, "Main.main", 0, 3*time.Millisecond)
+	r.Emit(FirstInvocation, "Main.main", 0, 0)
+	r.Emit(DemandIssue, "Fib.fib", 64, 0)
+	r.Emit(DemandDone, "Fib.fib", 64, time.Millisecond)
+	r.Emit(Degraded, "stream failed", 0, 0)
+
+	var got bytes.Buffer
+	if err := WriteTrace(&got, r.Events(), r.Dropped()); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "trace.golden.json")
+	if *update {
+		if err := os.WriteFile(golden, got.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.Bytes(), want) {
+		t.Errorf("trace export drifted from golden file (re-run with -update if intended)\ngot:\n%s", got.String())
+	}
+
+	sum, err := ParseTrace(bytes.NewReader(got.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Events != 10 {
+		t.Errorf("parsed %d events, want 10", sum.Events)
+	}
+	if sum.Dropped != 0 {
+		t.Errorf("dropped = %d", sum.Dropped)
+	}
+	if sum.SpanUS <= 0 {
+		t.Errorf("span = %v µs", sum.SpanUS)
+	}
+	if sum.ByName["first-invocation Main.main"] != 1 {
+		t.Errorf("summary names wrong: %v", sum.ByName)
+	}
+}
+
+// TestParseTraceRejectsGarbage: the parser is the CI smoke check's
+// teeth, so it must fail on non-JSON and on malformed events.
+func TestParseTraceRejectsGarbage(t *testing.T) {
+	if _, err := ParseTrace(bytes.NewReader([]byte("not json"))); err == nil {
+		t.Error("garbage accepted")
+	}
+	if _, err := ParseTrace(bytes.NewReader([]byte(`{"traceEvents":[{"name":"x","ph":"B","ts":1}]}`))); err == nil {
+		t.Error("unsupported phase accepted")
+	}
+	if _, err := ParseTrace(bytes.NewReader([]byte(`{"traceEvents":[{"name":"x","ph":"i","ts":-5}]}`))); err == nil {
+		t.Error("negative timestamp accepted")
+	}
+}
+
+// TestTraceDroppedMetadata: ring overflow is recorded in the file so a
+// truncated trace is visible to the reader.
+func TestTraceDroppedMetadata(t *testing.T) {
+	r := fixed(4, time.Millisecond)
+	for i := 0; i < 10; i++ {
+		r.Emit(Retry, "", 0, time.Millisecond)
+	}
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, r.Events(), r.Dropped()); err != nil {
+		t.Fatal(err)
+	}
+	sum, err := ParseTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Dropped != 6 {
+		t.Errorf("dropped = %d, want 6", sum.Dropped)
+	}
+}

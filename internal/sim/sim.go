@@ -38,15 +38,36 @@ type Result struct {
 	Demands int
 	// Mispredicts is the engine's demand-correction count.
 	Mispredicts int
+	// Stalls lists every first-use arrival that had to wait, in
+	// execution order — the simulator's predicted stall breakdown that
+	// the live runtime's measured attribution is compared against.
+	Stalls []MethodStall
+}
+
+// MethodStall is one predicted first-use stall: execution demanded
+// Method at AtCycle and waited Cycles for its bytes.
+type MethodStall struct {
+	Method  classfile.Ref
+	AtCycle int64
+	Cycles  int64
 }
 
 // Overlap returns the fraction of transfer-bound time hidden behind
-// execution: 1 - StallCycles/TotalCycles.
+// execution: 1 - StallCycles/TotalCycles, clamped to [0, 1] so a
+// degenerate replay (zero or negative totals) reports a fraction, not
+// NaN or ±Inf.
 func (r Result) Overlap() float64 {
-	if r.TotalCycles == 0 {
+	if r.TotalCycles <= 0 {
 		return 0
 	}
-	return 1 - float64(r.StallCycles)/float64(r.TotalCycles)
+	o := 1 - float64(r.StallCycles)/float64(r.TotalCycles)
+	switch {
+	case o < 0:
+		return 0
+	case o > 1:
+		return 1
+	}
+	return o
 }
 
 // Run replays trace against eng. ix must index the program the trace was
@@ -104,6 +125,9 @@ func RunCostedContext(ctx context.Context, trace []vm.Segment, ix *classfile.Ind
 			if avail > now {
 				res.StallCycles += avail - now
 				res.StallEvents++
+				res.Stalls = append(res.Stalls, MethodStall{
+					Method: ix.Ref(seg.M), AtCycle: now, Cycles: avail - now,
+				})
 				now = avail
 			}
 			if i == 0 {

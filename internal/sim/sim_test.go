@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"math"
 	"strings"
 	"testing"
 
@@ -251,3 +252,65 @@ func (e *timeTravelEngine) Demand(m classfile.Ref, now int64) int64 {
 	return now
 }
 func (e *timeTravelEngine) Mispredicts() int { return 0 }
+
+// TestStallRecords: the per-method stall list must agree with the
+// aggregate counters — same event count, cycles summing to StallCycles,
+// in execution order, and the first record matching the invocation
+// latency when main stalled at cycle zero.
+func TestStallRecords(t *testing.T) {
+	_, ix, trace := fixture(t)
+	mainRef := classfile.Ref{Class: "M", Name: "main"}
+	fRef := classfile.Ref{Class: "M", Name: "f"}
+	eng := &fakeEngine{avail: map[classfile.Ref]int64{mainRef: 1000, fRef: 5000}}
+	res, err := Run(trace, ix, eng, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.StallEvents != 2 {
+		t.Fatalf("StallEvents = %d, want 2 (main and f both late)", res.StallEvents)
+	}
+	if len(res.Stalls) != res.StallEvents {
+		t.Fatalf("len(Stalls) = %d, want StallEvents %d", len(res.Stalls), res.StallEvents)
+	}
+	var sum int64
+	for i, s := range res.Stalls {
+		if s.Cycles <= 0 {
+			t.Fatalf("stall %d for %v has non-positive length %d", i, s.Method, s.Cycles)
+		}
+		if i > 0 && s.AtCycle < res.Stalls[i-1].AtCycle {
+			t.Fatalf("stalls out of order: %d at %d after %d", i, s.AtCycle, res.Stalls[i-1].AtCycle)
+		}
+		sum += s.Cycles
+	}
+	if sum != res.StallCycles {
+		t.Fatalf("stall records sum to %d cycles, want StallCycles %d", sum, res.StallCycles)
+	}
+	first := res.Stalls[0]
+	if first.Method != mainRef || first.AtCycle != 0 || first.Cycles != res.InvocationLatency {
+		t.Fatalf("first stall %+v, want main stalling %d cycles at 0", first, res.InvocationLatency)
+	}
+	if res.Stalls[1].Method != fRef {
+		t.Fatalf("second stall names %v, want %v", res.Stalls[1].Method, fRef)
+	}
+}
+
+// TestOverlapClamped mirrors the live-side fix: a degenerate Result
+// must report a fraction, never NaN/Inf or a value outside [0, 1].
+func TestOverlapClamped(t *testing.T) {
+	cases := []struct {
+		r    Result
+		want float64
+	}{
+		{Result{}, 0},
+		{Result{TotalCycles: 10, StallCycles: 20}, 0},
+		{Result{TotalCycles: -5, StallCycles: 1}, 0},
+		{Result{TotalCycles: 10, StallCycles: -1}, 1},
+		{Result{TotalCycles: 10, StallCycles: 5}, 0.5},
+	}
+	for _, c := range cases {
+		if got := c.r.Overlap(); got != c.want ||
+			math.IsNaN(got) || math.IsInf(got, 0) {
+			t.Errorf("Overlap(%+v) = %v, want %v", c.r, got, c.want)
+		}
+	}
+}

@@ -58,6 +58,11 @@ type Fault struct {
 	// GarbageRangeEvery answers every Nth Range request (counted across
 	// all requests) with a garbage 206: a Content-Range that does not
 	// match the requested offset and seeded junk bytes (0 = never).
+	// Requests for ".toc" paths are exempt and do not advance the
+	// counter: the unit table has no per-byte checksum, so a garbaged
+	// resume of it would fail the whole run undiagnosably and mask the
+	// repair behaviour the schedule is meant to exercise — its failure
+	// mode is FlakyTOC.
 	GarbageRangeEvery int64
 	// FlakyTOC fails the first N requests whose path ends in ".toc" with
 	// a 503 (0 = never).
@@ -65,6 +70,54 @@ type Fault struct {
 	// Seed drives the corruption masks and garbage bytes (0 = a fixed
 	// default), making every chaos schedule reproducible.
 	Seed uint64
+	// Counters, when non-nil, receives per-kind injection counts (the
+	// serve command exposes them at /metrics). Nil disables counting.
+	Counters *FaultStats
+}
+
+// FaultStats counts injected faults by kind, for scraping while a chaos
+// schedule runs. All fields are updated atomically by the wrapped
+// handler and may be read concurrently.
+type FaultStats struct {
+	drops, corruptedBytes, stalls, truncations, garbageRanges, tocFailures atomic.Int64
+}
+
+// FaultCounts is a point-in-time snapshot of FaultStats.
+type FaultCounts struct {
+	// Drops is connections killed mid-body.
+	Drops int64
+	// CorruptedBytes is body bytes that had a mask XORed in.
+	CorruptedBytes int64
+	// Stalls is responses hung mid-body.
+	Stalls int64
+	// Truncations is responses ended cleanly short of their length.
+	Truncations int64
+	// GarbageRanges is Range requests answered with a bogus 206.
+	GarbageRanges int64
+	// TOCFailures is unit-table requests failed with a 503.
+	TOCFailures int64
+}
+
+// Snapshot reads the counters. Safe on a nil receiver.
+func (s *FaultStats) Snapshot() FaultCounts {
+	if s == nil {
+		return FaultCounts{}
+	}
+	return FaultCounts{
+		Drops:          s.drops.Load(),
+		CorruptedBytes: s.corruptedBytes.Load(),
+		Stalls:         s.stalls.Load(),
+		Truncations:    s.truncations.Load(),
+		GarbageRanges:  s.garbageRanges.Load(),
+		TOCFailures:    s.tocFailures.Load(),
+	}
+}
+
+// count bumps one counter when stats collection is enabled.
+func count(c *FaultStats, f func(*FaultStats) *atomic.Int64) {
+	if c != nil {
+		f(c).Add(1)
+	}
 }
 
 // Enabled reports whether the fault injects anything.
@@ -103,13 +156,19 @@ func (f Fault) Wrap(h http.Handler) http.Handler {
 	}
 	var rangeReqs, tocReqs atomic.Int64
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		if f.FlakyTOC > 0 && strings.HasSuffix(r.URL.Path, ".toc") &&
-			tocReqs.Add(1) <= int64(f.FlakyTOC) {
+		isTOC := strings.HasSuffix(r.URL.Path, ".toc")
+		if f.FlakyTOC > 0 && isTOC && tocReqs.Add(1) <= int64(f.FlakyTOC) {
+			count(f.Counters, func(s *FaultStats) *atomic.Int64 { return &s.tocFailures })
 			http.Error(w, "unit table temporarily unavailable", http.StatusServiceUnavailable)
 			return
 		}
-		if f.GarbageRangeEvery > 0 && r.Header.Get("Range") != "" &&
+		// Unit-table requests never enter the garbage-Range schedule:
+		// they are exempt AND do not advance the counter, so the same
+		// schedule garbages the same /app ranges whether or not the
+		// client happened to resume a .toc fetch in between.
+		if f.GarbageRangeEvery > 0 && !isTOC && r.Header.Get("Range") != "" &&
 			rangeReqs.Add(1)%f.GarbageRangeEvery == 0 {
+			count(f.Counters, func(s *FaultStats) *atomic.Int64 { return &s.garbageRanges })
 			// A bogus 206: the Content-Range does not match what was
 			// asked for, and the body is seeded junk. A correct client
 			// rejects the reply and retries.
@@ -217,11 +276,13 @@ func (w *faultWriter) Write(p []byte) (int, error) {
 		}
 		p = p[n:]
 		if truncNow {
+			count(w.f.Counters, func(s *FaultStats) *atomic.Int64 { return &s.truncations })
 			w.Flush()
 			w.truncated = true
 			return written, http.ErrHandlerTimeout
 		}
 		if stallNow {
+			count(w.f.Counters, func(s *FaultStats) *atomic.Int64 { return &s.stalls })
 			w.stallRemaining = -1 // one stall per request
 			w.Flush()
 			d := w.f.StallFor
@@ -252,6 +313,7 @@ func (w *faultWriter) writeChunk(p []byte) (int, error) {
 		first := w.f.CorruptEvery - (w.pos % w.f.CorruptEvery) - 1
 		for i := first; i < int64(len(q)); i += w.f.CorruptEvery {
 			q[i] ^= w.f.corruptMask(w.pos + i)
+			count(w.f.Counters, func(s *FaultStats) *atomic.Int64 { return &s.corruptedBytes })
 		}
 		p = q
 	}
@@ -272,6 +334,7 @@ func (w *faultWriter) writeChunk(p []byte) (int, error) {
 	if w.dropRemaining <= 0 {
 		// Deliver what was written, then kill the connection.
 		w.Flush()
+		count(w.f.Counters, func(s *FaultStats) *atomic.Int64 { return &s.drops })
 		w.abort()
 	}
 	return n, nil

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"errors"
+	"fmt"
 	"io"
 	"net/http"
 	"net/http/httptest"
@@ -213,5 +214,128 @@ func TestFaultStallBounded(t *testing.T) {
 	}
 	if elapsed := time.Since(began); elapsed < 50*time.Millisecond {
 		t.Errorf("response took %v; the 50ms stall never engaged", elapsed)
+	}
+}
+
+// tocServer serves a real benchmark's stream and unit table through a
+// fault — the chaos harness's server shape, for the TOC-exemption
+// regression tests.
+func tocServer(t *testing.T, f Fault) (*httptest.Server, []byte, []byte) {
+	t.Helper()
+	_, _, _, w := plan(t, "Hanoi")
+	var buf bytes.Buffer
+	if _, err := w.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	toc, err := MarshalTOC(w.TOC())
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	mux := http.NewServeMux()
+	mux.HandleFunc("/app", func(w http.ResponseWriter, r *http.Request) {
+		http.ServeContent(w, r, "app.bin", time.Time{}, bytes.NewReader(data))
+	})
+	mux.HandleFunc("/app.toc", func(w http.ResponseWriter, r *http.Request) {
+		http.ServeContent(w, r, "app.toc.json", time.Time{}, bytes.NewReader(toc))
+	})
+	srv := httptest.NewServer(f.Wrap(mux))
+	t.Cleanup(srv.Close)
+	return srv, data, toc
+}
+
+// TestFaultGarbageRangeSparesTOC is the regression test for the fault
+// layer garbaging unit-table resumes: a drop schedule small enough to
+// interrupt the TOC transfer forces the client to resume it with a
+// Range request, and with GarbageRangeEvery=1 every such resume came
+// back as a bogus 206 — the TOC could never be fetched and every chaos
+// schedule degraded identically at startup. The unit table must be
+// exempt: the fetch succeeds and the table parses.
+func TestFaultGarbageRangeSparesTOC(t *testing.T) {
+	srv, _, toc := tocServer(t, Fault{DropEvery: 128, GarbageRangeEvery: 1, Seed: 42})
+	if len(toc) <= 128 {
+		t.Fatalf("unit table only %d bytes; the drop schedule cannot force a resume", len(toc))
+	}
+	c := fastClient(1, nil)
+	var got bytes.Buffer
+	if _, err := c.Fetch(context.Background(), srv.URL+"/app.toc", &got); err != nil {
+		t.Fatalf("unit-table fetch under garbage-range chaos: %v", err)
+	}
+	if !bytes.Equal(got.Bytes(), toc) {
+		t.Fatal("unit table arrived corrupted")
+	}
+	if _, err := ParseTOC(got.Bytes()); err != nil {
+		t.Fatalf("fetched unit table does not parse: %v", err)
+	}
+	if c.Stats().Resumes == 0 {
+		t.Error("TOC fetch never resumed; the regression scenario did not engage")
+	}
+}
+
+// TestFaultGarbageRangeCounterSkipsTOC: unit-table requests must not
+// advance the garbage-Range schedule either, so the same /app ranges
+// are garbaged whether or not a .toc resume happened in between.
+func TestFaultGarbageRangeCounterSkipsTOC(t *testing.T) {
+	srv, data, toc := tocServer(t, Fault{GarbageRangeEvery: 2, Seed: 7})
+	ranged := func(path string, from, to int) (int, []byte) {
+		req, err := http.NewRequest("GET", srv.URL+path, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set("Range", fmt.Sprintf("bytes=%d-%d", from, to))
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		b, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, b
+	}
+
+	// /app range #1: schedule count 1 — clean.
+	if code, b := ranged("/app", 0, 15); code != http.StatusPartialContent || !bytes.Equal(b, data[:16]) {
+		t.Fatalf("first /app range: code %d, %d bytes", code, len(b))
+	}
+	// A .toc range between them: exempt AND uncounted.
+	if code, b := ranged("/app.toc", 0, 15); code != http.StatusPartialContent || !bytes.Equal(b, toc[:16]) {
+		t.Fatalf("ranged unit-table request corrupted: code %d, body %q", code, b)
+	}
+	// /app range #2: schedule count 2 — garbaged. If the .toc request
+	// had advanced the counter this would be count 3 and come back
+	// clean.
+	if _, b := ranged("/app", 0, 15); bytes.Equal(b, data[:16]) {
+		t.Fatal("second /app range came back clean; the .toc request advanced the garbage schedule")
+	}
+}
+
+// TestFaultCounters: each injected fault kind is counted for /metrics.
+func TestFaultCounters(t *testing.T) {
+	var fs FaultStats
+	srv, _, _ := tocServer(t, Fault{
+		DropEvery:         256,
+		CorruptEvery:      200,
+		GarbageRangeEvery: 1,
+		FlakyTOC:          1,
+		Seed:              9,
+		Counters:          &fs,
+	})
+	c := fastClient(1, nil)
+	var buf bytes.Buffer
+	c.Fetch(context.Background(), srv.URL+"/app.toc", &buf) // rides out the 503 and the drops
+	buf.Reset()
+	c.FetchRange(context.Background(), srv.URL+"/app", 0, 64, &buf) // garbage every time: fails
+	buf.Reset()
+	c.Fetch(context.Background(), srv.URL+"/app", &buf) // dropped + corrupted stream
+
+	got := fs.Snapshot()
+	if got.Drops == 0 || got.CorruptedBytes == 0 || got.GarbageRanges == 0 || got.TOCFailures == 0 {
+		t.Errorf("fault counters missing injections: %+v", got)
+	}
+	var nilStats *FaultStats
+	if nilStats.Snapshot() != (FaultCounts{}) {
+		t.Error("nil FaultStats snapshot not zero")
 	}
 }

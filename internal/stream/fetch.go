@@ -1,6 +1,7 @@
 package stream
 
 import (
+	"bytes"
 	"context"
 	"errors"
 	"fmt"
@@ -12,6 +13,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"nonstrict/internal/obs"
 	"nonstrict/internal/xrand"
 )
 
@@ -52,6 +54,10 @@ type FetchClient struct {
 	// JitterSeed seeds the deterministic jitter source, so a seeded
 	// client retries on a reproducible schedule. 0 uses a fixed seed.
 	JitterSeed uint64
+	// Obs, when non-nil, receives transfer events (retries with their
+	// backoff, Range resumes with their offset). Set it before the first
+	// request; it must not change while transfers are in flight.
+	Obs *obs.Recorder
 
 	// sleep waits between retries; tests override it to observe the
 	// backoff schedule without real delays. nil sleeps on a timer,
@@ -215,6 +221,46 @@ func (c *FetchClient) FetchRange(ctx context.Context, url string, from, length i
 	return io.Copy(w, r)
 }
 
+// FetchRangeVerified downloads the length bytes at offset from and
+// verifies them against the unit table's checksum before returning them
+// — the demand/repair fetch path. The distinction it enforces: a
+// transfer interrupted mid-range resumes at the last RECEIVED byte like
+// any other fetch, but received is not verified — a unit's bytes can
+// only be checked once the whole range is in. When the assembled
+// payload fails its checksum (a corrupt prefix spliced across a
+// reconnect, a lying proxy), the unverified bytes are discarded and the
+// fetch restarts from the last verified byte, which for a unit fetch is
+// the range start. Restarts back off and share the client's retry
+// budget, so a range that never verifies fails cleanly with
+// ErrStreamIntegrity instead of installing garbage or burning the
+// caller's attempts on poisoned splices.
+// It returns the verified payload and the number of whole-range
+// attempts made (1 when the first assembled payload verified).
+func (c *FetchClient) FetchRangeVerified(ctx context.Context, url string, from, length int64, crc uint32) ([]byte, int, error) {
+	var buf bytes.Buffer
+	for fails := 0; ; {
+		buf.Reset()
+		if _, err := c.FetchRange(ctx, url, from, length, &buf); err != nil {
+			return nil, fails + 1, err
+		}
+		if p := buf.Bytes(); ChecksumPayload(p) == crc {
+			return p, fails + 1, nil
+		}
+		fails++
+		c.Obs.Emit(obs.CRCFail, url, length, 0)
+		if fails >= c.maxRetries() {
+			return nil, fails, fmt.Errorf("%w: range [%d,%d) failed verification %d times",
+				ErrStreamIntegrity, from, from+length, fails)
+		}
+		c.retries.Add(1)
+		d := c.backoff(fails)
+		if err := c.sleepFn()(ctx, d); err != nil {
+			return nil, fails, err
+		}
+		c.Obs.Emit(obs.Retry, url, 0, d)
+	}
+}
+
 // resumeReader streams one URL with reconnect-and-resume. Reads return
 // whatever bytes each connection yields; when a connection dies the next
 // Read reconnects with a Range request from the current offset.
@@ -259,9 +305,11 @@ func (r *resumeReader) connect() error {
 			return fmt.Errorf("%w: %d consecutive attempts failed, last: %v", ErrFetchFailed, r.fails, err)
 		}
 		r.c.retries.Add(1)
-		if serr := r.c.sleepFn()(r.ctx, r.c.backoff(r.fails)); serr != nil {
+		d := r.c.backoff(r.fails)
+		if serr := r.c.sleepFn()(r.ctx, d); serr != nil {
 			return serr
 		}
+		r.c.Obs.Emit(obs.Retry, r.url, 0, d)
 	}
 }
 
@@ -342,6 +390,7 @@ func (r *resumeReader) tryConnect() error {
 	}
 	if r.off > r.start {
 		r.c.resumes.Add(1)
+		r.c.Obs.Emit(obs.Resume, r.url, r.off, 0)
 	}
 	r.body = resp.Body
 	r.cancelReq = cancel
@@ -440,9 +489,11 @@ func (r *resumeReader) Read(p []byte) (int, error) {
 				return 0, fmt.Errorf("%w: %d consecutive attempts failed, last: %v", ErrFetchFailed, r.fails, err)
 			}
 			r.c.retries.Add(1)
-			if serr := r.c.sleepFn()(r.ctx, r.c.backoff(r.fails)); serr != nil {
+			d := r.c.backoff(r.fails)
+			if serr := r.c.sleepFn()(r.ctx, d); serr != nil {
 				return 0, serr
 			}
+			r.c.Obs.Emit(obs.Retry, r.url, 0, d)
 		}
 	}
 }

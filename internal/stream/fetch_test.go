@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"errors"
+	"fmt"
 	"io"
 	"net/http"
 	"net/http/httptest"
@@ -316,5 +317,114 @@ func TestFetchRejects206WithoutContentRange(t *testing.T) {
 				t.Errorf("%d misplaced bytes delivered", got.Len())
 			}
 		})
+	}
+}
+
+// splicingServer serves data with Range support, but poisons the first
+// k whole-range fetches of the unit at offset target: it sends a short
+// prefix whose first byte is flipped, flushes it onto the wire, then
+// kills the connection. The resumed remainder is served clean, so a
+// client that resumes from the last RECEIVED byte assembles a
+// full-length payload whose prefix is garbage — the transient splice
+// corruption FetchRangeVerified exists to catch. Fresh fetches after
+// the first k, resumes, and requests for other offsets are all intact.
+func splicingServer(t *testing.T, data []byte, target int64, k int) (*httptest.Server, *atomic.Int64) {
+	t.Helper()
+	var poisoned atomic.Int64
+	mux := http.NewServeMux()
+	mux.HandleFunc("/app", func(w http.ResponseWriter, r *http.Request) {
+		var from, to int64 = -1, -1
+		fmt.Sscanf(r.Header.Get("Range"), "bytes=%d-%d", &from, &to)
+		if from == target && poisoned.Load() < int64(k) {
+			poisoned.Add(1)
+			cut := int64(16)
+			if to-from+1 < cut {
+				cut = to - from + 1
+			}
+			w.Header().Set("Content-Range", fmt.Sprintf("bytes %d-%d/%d", from, to, len(data)))
+			w.WriteHeader(http.StatusPartialContent)
+			prefix := append([]byte(nil), data[from:from+cut]...)
+			prefix[0] ^= 0x5a
+			w.Write(prefix)
+			w.(http.Flusher).Flush()
+			panic(http.ErrAbortHandler)
+		}
+		http.ServeContent(w, r, "app.bin", time.Time{}, bytes.NewReader(data))
+	})
+	srv := httptest.NewServer(mux)
+	t.Cleanup(srv.Close)
+	return srv, &poisoned
+}
+
+// TestFetchRangeVerifiedRestartsFromVerifiedByte is the S4 regression:
+// a connection dropped after a corrupted prefix must not let the
+// corruption survive the resume. Plain FetchRange resumes from the
+// last received byte and happily returns the poisoned splice;
+// FetchRangeVerified detects the checksum mismatch and restarts the
+// whole range from its last verified byte — the range start.
+func TestFetchRangeVerifiedRestartsFromVerifiedByte(t *testing.T) {
+	data := testPayload(4096)
+	const from, length = 512, 1024
+	const k = 3
+	srv, poisoned := splicingServer(t, data, from, k)
+
+	want := data[from : from+length]
+	crc := ChecksumPayload(want)
+
+	// Demonstrate the hazard: an unverified range fetch completes with
+	// the spliced garbage and no error.
+	var raw bytes.Buffer
+	if _, err := fastClient(3, nil).FetchRange(context.Background(), srv.URL+"/app", from, length, &raw); err != nil {
+		t.Fatalf("FetchRange: %v", err)
+	}
+	if bytes.Equal(raw.Bytes(), want) {
+		t.Fatal("server did not poison the splice; test is vacuous")
+	}
+
+	var slept []time.Duration
+	c := fastClient(7, &slept)
+	p, attempts, err := c.FetchRangeVerified(context.Background(), srv.URL+"/app", from, length, crc)
+	if err != nil {
+		t.Fatalf("FetchRangeVerified: %v", err)
+	}
+	if !bytes.Equal(p, want) {
+		t.Fatal("verified payload does not match the planned bytes")
+	}
+	// The unverified demonstration above consumed one poisoning, so the
+	// verified fetch hits k-1 more: k-1 restarts plus the final clean
+	// attempt that verifies.
+	if attempts != k {
+		t.Fatalf("attempts = %d, want %d", attempts, k)
+	}
+	if got := poisoned.Load(); got != k {
+		t.Fatalf("server poisoned %d fresh fetches, want %d", got, k)
+	}
+	if len(slept) == 0 {
+		t.Fatal("verification restarts did not back off")
+	}
+	if st := c.Stats(); st.Retries == 0 {
+		t.Fatalf("Stats().Retries = 0, want > 0 (restarts share the retry budget); stats %+v", st)
+	}
+}
+
+// TestFetchRangeVerifiedExhaustsBudget: a range that never verifies
+// must fail with ErrStreamIntegrity after the client's retry budget,
+// not loop forever or return garbage.
+func TestFetchRangeVerifiedExhaustsBudget(t *testing.T) {
+	data := testPayload(4096)
+	const from, length = 512, 1024
+	srv, _ := splicingServer(t, data, from, 1<<30)
+
+	c := fastClient(11, nil)
+	c.MaxRetries = 3
+	p, attempts, err := c.FetchRangeVerified(context.Background(), srv.URL+"/app", from, length, ChecksumPayload(data[from:from+length]))
+	if !errors.Is(err, ErrStreamIntegrity) {
+		t.Fatalf("err = %v, want ErrStreamIntegrity", err)
+	}
+	if p != nil {
+		t.Fatal("failed verification must not return a payload")
+	}
+	if attempts != 3 {
+		t.Fatalf("attempts = %d, want 3", attempts)
 	}
 }

@@ -22,8 +22,10 @@ import (
 	"hash/crc32"
 	"io"
 	"sync"
+	"time"
 
 	"nonstrict/internal/classfile"
+	"nonstrict/internal/obs"
 	"nonstrict/internal/reorder"
 	"nonstrict/internal/verify"
 )
@@ -303,6 +305,10 @@ type Loader struct {
 	Repair func(RepairRequest) ([]byte, error)
 	// RepairAttempts caps Repair invocations per corrupt unit (0 = 3).
 	RepairAttempts int
+	// Obs, when non-nil, receives integrity events: unit arrivals,
+	// checksum failures, repairs, quarantines. Set before Load; must not
+	// change while loading.
+	Obs *obs.Recorder
 
 	mu         sync.Mutex
 	classes    map[int]*classfile.Class
@@ -424,6 +430,7 @@ func (l *Loader) Load(r io.Reader, onEvent func(Event)) error {
 		if err != nil {
 			return err
 		}
+		l.Obs.Emit(obs.UnitArrived, fmt.Sprintf("class %d %s", ci, kindName(kind)), int64(n), 0)
 		if onEvent != nil {
 			for _, e := range ev {
 				onEvent(e)
@@ -438,6 +445,7 @@ func (l *Loader) Load(r io.Reader, onEvent func(Event)) error {
 // the unit must be quarantined, or a terminal error when no Repair hook
 // is installed (strict mode). Called with no locks held.
 func (l *Loader) repairUnit(ci int, kind byte, n int, crc uint32) ([]byte, error) {
+	began := time.Now()
 	l.mu.Lock()
 	l.integ.CorruptUnits++
 	repair := l.Repair
@@ -446,6 +454,7 @@ func (l *Loader) repairUnit(ci int, kind byte, n int, crc uint32) ([]byte, error
 		body = l.mainNext[ci]
 	}
 	l.mu.Unlock()
+	l.Obs.Emit(obs.CRCFail, fmt.Sprintf("class %d %s", ci, kindName(kind)), int64(n), 0)
 	if repair == nil {
 		return nil, fmt.Errorf("%w: class %d %s unit: payload checksum mismatch and no repair path",
 			ErrStreamIntegrity, ci, kindName(kind))
@@ -465,6 +474,7 @@ func (l *Loader) repairUnit(ci int, kind byte, n int, crc uint32) ([]byte, error
 		l.mu.Lock()
 		l.integ.Repaired++
 		l.mu.Unlock()
+		l.Obs.Emit(obs.Repaired, fmt.Sprintf("class %d %s", ci, kindName(kind)), int64(n), time.Since(began))
 		return p, nil
 	}
 	return nil, nil
@@ -488,6 +498,7 @@ func (l *Loader) quarantine(ci int, kind byte, n int, crc uint32) {
 	l.integ.Quarantined++
 	l.consumed += headerSize + int64(n)
 	l.mainUnits++
+	l.Obs.Emit(obs.Quarantined, fmt.Sprintf("class %d %s", ci, kindName(kind)), int64(n), 0)
 }
 
 func kindName(kind byte) string {

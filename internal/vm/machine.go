@@ -51,6 +51,11 @@ type Options struct {
 	MaxSteps int64
 	// MaxFrames bounds call depth (0 = default 65536).
 	MaxFrames int
+	// OnFirstUse, when non-nil, observes each method's first invocation
+	// after its availability gate (if any) has been crossed and its body
+	// linked. It runs on the execution goroutine, so it must be cheap
+	// and must not call back into the machine.
+	OnFirstUse func(classfile.Ref)
 }
 
 // RuntimeError describes a trap during execution.
@@ -80,6 +85,8 @@ type Machine struct {
 	trace   []Segment
 	invoked []bool
 	covered [][]bool
+	// onFirstUse is Options.OnFirstUse, captured for firstUse.
+	onFirstUse func(classfile.Ref)
 }
 
 type frame struct {
@@ -130,6 +137,7 @@ func (m *Machine) run(opts Options) error {
 	if maxFrames <= 0 {
 		maxFrames = 65536
 	}
+	m.onFirstUse = opts.OnFirstUse
 
 	entry := m.meths[m.ln.main]
 	if len(opts.Args) != entry.nargs {
@@ -504,6 +512,9 @@ func (m *Machine) firstUse(id classfile.MethodID) error {
 	m.invoked[id] = true
 	m.prof.FirstUse = append(m.prof.FirstUse, id)
 	m.covered[id] = make([]bool, len(lm.code))
+	if m.onFirstUse != nil {
+		m.onFirstUse(lm.ref)
+	}
 	return nil
 }
 

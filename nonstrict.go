@@ -42,6 +42,7 @@ package nonstrict
 
 import (
 	"context"
+	"io"
 
 	"nonstrict/internal/apps"
 	"nonstrict/internal/cfg"
@@ -49,6 +50,7 @@ import (
 	"nonstrict/internal/datapart"
 	"nonstrict/internal/experiments"
 	"nonstrict/internal/live"
+	"nonstrict/internal/obs"
 	"nonstrict/internal/reorder"
 	"nonstrict/internal/restructure"
 	"nonstrict/internal/sim"
@@ -295,6 +297,42 @@ type (
 	// UnitInfo locates one stream unit for byte-range demand fetches.
 	UnitInfo = stream.UnitInfo
 )
+
+// Observability: a low-overhead event recorder threaded through the
+// transfer → loader → gate → VM pipeline, its Chrome trace-event
+// export, and the stall-attribution report derived from a live run.
+type (
+	// Recorder is a fixed-capacity, concurrency-safe event ring. Hand
+	// one to FetchClient.Obs and LiveOptions.Obs to capture a run.
+	Recorder = obs.Recorder
+	// ObsEvent is one recorded pipeline event.
+	ObsEvent = obs.Event
+	// ObsKind discriminates recorded event types.
+	ObsKind = obs.Kind
+	// TraceSummary is the parsed digest of an exported trace file.
+	TraceSummary = obs.TraceSummary
+	// Attribution decomposes one first-invocation latency into
+	// execute / transfer-wait / repair-wait / gate-wait components that
+	// sum to the latency exactly.
+	Attribution = live.Attribution
+	// MethodStall is one of the simulator's predicted first-use stalls,
+	// the prediction an Attribution is compared against.
+	MethodStall = sim.MethodStall
+)
+
+// NewRecorder returns a recorder holding up to capacity events
+// (capacity <= 0 selects the default). Oldest events are dropped, and
+// counted, once the ring fills.
+func NewRecorder(capacity int) *Recorder { return obs.NewRecorder(capacity) }
+
+// WriteTrace emits events as Chrome trace-event JSON, loadable in
+// chrome://tracing or Perfetto.
+func WriteTrace(w io.Writer, events []ObsEvent, dropped uint64) error {
+	return obs.WriteTrace(w, events, dropped)
+}
+
+// ParseTrace reads a trace written by WriteTrace and summarizes it.
+func ParseTrace(r io.Reader) (*TraceSummary, error) { return obs.ParseTrace(r) }
 
 // ErrGateTimeout reports a first invocation whose method never became
 // available within the gate deadline — the clean, diagnosable outcome
