@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race lint bench-smoke live-smoke chaos trace-smoke ci clean
+.PHONY: all build test race lint bench-smoke bench-serve live-smoke chaos trace-smoke ci clean
 
 all: build
 
@@ -24,6 +24,17 @@ lint:
 # byte-identically to the serial path.
 bench-smoke:
 	$(GO) test -run TestPaperTables -short -v ./internal/experiments
+
+# The code-server gate: allocation regressions on the serve hot path
+# (pooled copy/payload buffers) plus the load-generator smoke, which
+# measures cold vs warm streams/sec and time-to-first-unit against a
+# live multi-tenant server and writes BENCH_serve.json at the repo
+# root. Fails unless a warm cache serves >= 10x the cold request rate.
+bench-serve:
+	$(GO) test -run TestDiscardNZeroAlloc -v ./internal/stream
+	$(GO) test -run '^$$' -bench 'BenchmarkDiscardN|BenchmarkServe|BenchmarkColdServe|BenchmarkWarmServe' \
+		-benchtime 50x -benchmem ./internal/stream ./internal/server
+	$(GO) test -run TestBenchServeSmoke -v ./internal/server
 
 # Overlapped execution end to end: serve with fault injection, execute
 # while the stream arrives (run-remote), gate on the self-check.
@@ -48,7 +59,7 @@ chaos:
 trace-smoke:
 	$(GO) test -run 'TestRunRemoteTraceAndSummary|TestServeMetricsDuringChaos' -v ./cmd/nonstrict
 
-ci: build lint test race bench-smoke live-smoke chaos trace-smoke
+ci: build lint test race bench-smoke bench-serve live-smoke chaos trace-smoke
 
 clean:
 	$(GO) clean ./...

@@ -13,7 +13,7 @@
 //	nonstrict figure6              print the summary figure
 //	nonstrict ablate               print the ablation studies
 //	nonstrict sim <name> [flags]   simulate one configuration
-//	nonstrict serve <name>         publish a benchmark as an HTTP stream
+//	nonstrict serve <name>         publish the benchmarks as HTTP streams
 //	nonstrict fetch <url> -name N  load it non-strictly and run it
 //	nonstrict run-remote <url> -name N
 //	                               execute it while it streams in
@@ -53,7 +53,10 @@ commands:
                        block-level delimiters)
   jit                  print the JIT-compilation-overlap extension
   sim <name> [flags]   simulate one transfer configuration
-  serve <name> [flags] publish a benchmark as a non-strict HTTP stream
+  serve <name> [flags] publish every benchmark as non-strict HTTP streams
+                       (multi-tenant under /apps/{name}/app, cached per
+                       (app, order) key; <name> also aliased at /app;
+                       -order scg|train|test, -cache-bytes N)
   fetch <url> -name N  load a served benchmark non-strictly and run it
   run-remote <url> -name N
                        execute a served benchmark WHILE it streams in,

@@ -1,39 +1,37 @@
 package main
 
 import (
-	"bytes"
 	"context"
-	"expvar"
 	"flag"
 	"fmt"
 	"io"
 	"net"
 	"net/http"
 	"strings"
-	"sync"
-	"sync/atomic"
 	"time"
 
 	"nonstrict"
-	"nonstrict/internal/jir"
+	"nonstrict/internal/server"
 	"nonstrict/internal/stream"
 )
 
-// cmdServe publishes a benchmark as an interleaved virtual file over
-// HTTP, restructured into static first-use order — a minimal non-strict
-// code server. The stream is served with Range support so a resuming
-// client can continue after a dropped connection, and the chaos flags
-// (-drop-every, -corrupt-every, -stall-after, -truncate-after,
-// -garbage-range-every, -flaky-toc, -latency) inject a deterministic,
-// seeded fault schedule for demonstrating exactly that. The server also
-// exposes Prometheus-format counters at /metrics — bytes served, Range
-// requests, in-flight streams, and fault injections by kind — and the
-// same numbers as JSON at /debug/vars, so a chaos run can be watched
-// from the outside.
+// cmdServe runs the multi-tenant non-strict code server: every
+// registered benchmark is published as an interleaved virtual file under
+// /apps/{name}/app (unit table at /apps/{name}/app.toc), restructured
+// into the chosen first-use order, with the named benchmark prebuilt and
+// aliased at /app and /app.toc for single-tenant clients. The expensive
+// build pipeline runs once per app behind a content-addressed artifact
+// cache (see internal/server); the chaos flags inject a deterministic,
+// seeded fault schedule around every request — cache hits included —
+// and /metrics exposes Prometheus counters for traffic, faults, and the
+// cache (the same numbers as JSON at /debug/vars). This command is a
+// flag-parsing shell: all serving logic lives in internal/server.
 func cmdServe(ctx context.Context, args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
 	addr := fs.String("addr", "127.0.0.1:0", "listen address")
 	rate := fs.Int("rate", 0, "throttle to N bytes/second (0 = unthrottled)")
+	order := fs.String("order", server.OrderStatic, "restructuring policy: scg, train, test")
+	cacheBytes := fs.Int64("cache-bytes", 0, "artifact cache byte budget (0 = 64 MiB)")
 	dropEvery := fs.Int64("drop-every", 0, "drop the connection after every N body bytes (0 = never)")
 	latency := fs.Duration("latency", 0, "added latency before each body write")
 	corruptEvery := fs.Int64("corrupt-every", 0, "flip a seeded bit in every Nth body byte (0 = never)")
@@ -44,7 +42,7 @@ func cmdServe(ctx context.Context, args []string, out io.Writer) error {
 	flakyTOC := fs.Int("flaky-toc", 0, "fail the first N unit-table requests with a 503 (0 = never)")
 	seed := fs.Uint64("seed", 0, "seed for corruption masks and garbage bytes (0 = fixed default)")
 	if len(args) == 0 || strings.HasPrefix(args[0], "-") {
-		return fmt.Errorf("serve: usage: nonstrict serve <name> [-addr host:port] [-rate N] [-drop-every N] [-latency D] [-corrupt-every N] [-stall-after N] [-stall-for D] [-truncate-after N] [-garbage-range-every N] [-flaky-toc N] [-seed N]")
+		return fmt.Errorf("serve: usage: nonstrict serve <name> [-addr host:port] [-rate N] [-order P] [-cache-bytes N] [-drop-every N] [-latency D] [-corrupt-every N] [-stall-after N] [-stall-for D] [-truncate-after N] [-garbage-range-every N] [-flaky-toc N] [-seed N]")
 	}
 	name := args[0]
 	if err := fs.Parse(args[1:]); err != nil {
@@ -65,11 +63,24 @@ func cmdServe(ctx context.Context, args []string, out io.Writer) error {
 		FlakyTOC:          *flakyTOC,
 		Seed:              *seed,
 	}
-	srv, size, err := newServer(name, *rate, fault)
+	srv, err := server.New(server.Config{
+		DefaultApp: name,
+		Order:      *order,
+		CacheBytes: *cacheBytes,
+		Rate:       *rate,
+		Fault:      fault,
+	})
 	if err != nil {
 		return err
 	}
+	size, err := srv.Warm(ctx, name)
+	if err != nil {
+		return err
+	}
+	hs := &http.Server{Handler: srv.Handler()}
 	fmt.Fprintf(out, "serving %s (%d stream bytes) at http://%s/app\n", name, size, ln.Addr())
+	fmt.Fprintf(out, "apps: %s at http://%s/apps/{name}/app (+ .toc; index at /apps; order=%s)\n",
+		strings.Join(srv.Apps(), " "), ln.Addr(), srv.Order())
 	fmt.Fprintf(out, "metrics at http://%s/metrics (expvar at /debug/vars)\n", ln.Addr())
 	if fault.Enabled() {
 		fmt.Fprintf(out, "fault injection: drop-every=%d corrupt-every=%d stall-after=%d/%v truncate-after=%d garbage-range-every=%d flaky-toc=%d latency=%v seed=%#x\n",
@@ -77,208 +88,30 @@ func cmdServe(ctx context.Context, args []string, out io.Writer) error {
 			fault.TruncateAfter, fault.GarbageRangeEvery, fault.FlakyTOC, fault.Latency, fault.Seed)
 	}
 	errc := make(chan error, 1)
-	go func() { errc <- srv.Serve(ln) }()
+	go func() { errc <- hs.Serve(ln) }()
 	select {
 	case err := <-errc:
 		return err
 	case <-ctx.Done():
 		sctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
 		defer cancel()
-		srv.Shutdown(sctx)
+		hs.Shutdown(sctx)
 		return ctx.Err()
 	}
 }
 
-// newServer builds the HTTP server for one benchmark. The interleaved
-// stream is serialized once and served via http.ServeContent, which
-// gives resuming clients byte-range (206) support for free.
+// newServer builds the HTTP server for tests: a multi-tenant code
+// server with name prebuilt and aliased at /app.
 func newServer(name string, rate int, fault stream.Fault) (*http.Server, int64, error) {
-	app, err := nonstrict.Benchmark(name)
+	srv, err := server.New(server.Config{DefaultApp: name, Rate: rate, Fault: fault})
 	if err != nil {
 		return nil, 0, err
 	}
-	prog, err := jir.Compile(app.IR)
+	size, err := srv.Warm(context.Background(), name)
 	if err != nil {
 		return nil, 0, err
 	}
-	order, ix, err := nonstrict.PredictStatic(prog)
-	if err != nil {
-		return nil, 0, err
-	}
-	rp, _ := nonstrict.Restructure(prog, ix, order)
-	w, err := nonstrict.NewStreamWriter(rp, ix, order)
-	if err != nil {
-		return nil, 0, err
-	}
-	var buf bytes.Buffer
-	if _, err := w.WriteTo(&buf); err != nil {
-		return nil, 0, err
-	}
-	data := buf.Bytes()
-	toc, err := stream.MarshalTOC(w.TOC())
-	if err != nil {
-		return nil, 0, err
-	}
-	mux := http.NewServeMux()
-	mux.HandleFunc("/app", func(rw http.ResponseWriter, req *http.Request) {
-		if rate > 0 {
-			rw = &pacedWriter{rw: rw, rate: rate}
-		}
-		http.ServeContent(rw, req, "app.bin", time.Time{}, bytes.NewReader(data))
-	})
-	// The writer's unit table, for demand-fetching clients (run-remote):
-	// maps every global/body unit to its byte range in /app.
-	mux.HandleFunc("/app.toc", func(rw http.ResponseWriter, req *http.Request) {
-		http.ServeContent(rw, req, "app.toc.json", time.Time{}, bytes.NewReader(toc))
-	})
-	// Monitoring sits OUTSIDE the fault layer — the chaos schedule must
-	// never corrupt the instruments watching it — while the counting
-	// middleware sits outside too, so bytesServed measures what actually
-	// went on the wire, faults included.
-	metrics := &serveMetrics{faults: &stream.FaultStats{}}
-	fault.Counters = metrics.faults
-	outer := http.NewServeMux()
-	outer.Handle("/metrics", metrics.handler())
-	outer.Handle("/debug/vars", expvar.Handler())
-	outer.Handle("/", metrics.wrap(fault.Wrap(mux)))
-	publishExpvars(metrics)
-	return &http.Server{Handler: outer}, w.Size(), nil
-}
-
-// serveMetrics counts what the code server hands out. All fields are
-// updated atomically; /metrics renders them in Prometheus text format
-// with no dependency beyond the standard library.
-type serveMetrics struct {
-	requests      atomic.Int64
-	rangeRequests atomic.Int64
-	bytesServed   atomic.Int64
-	activeStreams atomic.Int64
-	faults        *stream.FaultStats
-}
-
-func (m *serveMetrics) wrap(h http.Handler) http.Handler {
-	return http.HandlerFunc(func(rw http.ResponseWriter, req *http.Request) {
-		m.requests.Add(1)
-		if req.Header.Get("Range") != "" {
-			m.rangeRequests.Add(1)
-		}
-		m.activeStreams.Add(1)
-		defer m.activeStreams.Add(-1)
-		h.ServeHTTP(&countingWriter{rw: rw, n: &m.bytesServed}, req)
-	})
-}
-
-func (m *serveMetrics) handler() http.Handler {
-	return http.HandlerFunc(func(rw http.ResponseWriter, req *http.Request) {
-		rw.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-		var b bytes.Buffer
-		counter := func(name, help string, v int64) {
-			fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
-		}
-		counter("nonstrict_http_requests_total", "HTTP requests served.", m.requests.Load())
-		counter("nonstrict_range_requests_total", "Requests carrying a Range header (resumes and demand fetches).", m.rangeRequests.Load())
-		counter("nonstrict_bytes_served_total", "Response body bytes written, faults included.", m.bytesServed.Load())
-		fmt.Fprintf(&b, "# HELP nonstrict_active_streams In-flight responses.\n# TYPE nonstrict_active_streams gauge\nnonstrict_active_streams %d\n", m.activeStreams.Load())
-		fc := m.faults.Snapshot()
-		fmt.Fprintf(&b, "# HELP nonstrict_fault_injections_total Faults injected by the chaos schedule, by kind.\n# TYPE nonstrict_fault_injections_total counter\n")
-		for _, kv := range []struct {
-			kind string
-			v    int64
-		}{
-			{"drop", fc.Drops},
-			{"corrupt_byte", fc.CorruptedBytes},
-			{"stall", fc.Stalls},
-			{"truncate", fc.Truncations},
-			{"garbage_range", fc.GarbageRanges},
-			{"flaky_toc", fc.TOCFailures},
-		} {
-			fmt.Fprintf(&b, "nonstrict_fault_injections_total{kind=%q} %d\n", kv.kind, kv.v)
-		}
-		rw.Write(b.Bytes())
-	})
-}
-
-// countingWriter tallies body bytes into n. It forwards Flush so the
-// paced writer and the fault layer keep their streaming behaviour.
-type countingWriter struct {
-	rw http.ResponseWriter
-	n  *atomic.Int64
-}
-
-func (c *countingWriter) Header() http.Header  { return c.rw.Header() }
-func (c *countingWriter) WriteHeader(code int) { c.rw.WriteHeader(code) }
-
-func (c *countingWriter) Write(b []byte) (int, error) {
-	n, err := c.rw.Write(b)
-	c.n.Add(int64(n))
-	return n, err
-}
-
-func (c *countingWriter) Flush() {
-	if fl, ok := c.rw.(http.Flusher); ok {
-		fl.Flush()
-	}
-}
-
-// expvar.Publish panics on a duplicate name, so the "nonstrict" var is
-// published once per process and reads whichever server was created
-// most recently — the common case (one serve per process) and good
-// enough for tests that spin up several.
-var (
-	expvarOnce    sync.Once
-	expvarCurrent atomic.Pointer[serveMetrics]
-)
-
-func publishExpvars(m *serveMetrics) {
-	expvarCurrent.Store(m)
-	expvarOnce.Do(func() {
-		expvar.Publish("nonstrict", expvar.Func(func() any {
-			m := expvarCurrent.Load()
-			if m == nil {
-				return nil
-			}
-			return map[string]any{
-				"requests":       m.requests.Load(),
-				"range_requests": m.rangeRequests.Load(),
-				"bytes_served":   m.bytesServed.Load(),
-				"active_streams": m.activeStreams.Load(),
-				"faults":         m.faults.Snapshot(),
-			}
-		}))
-	})
-}
-
-// pacedWriter throttles the response body to simulate a slow link,
-// flushing each chunk so the client sees steady progress.
-type pacedWriter struct {
-	rw   http.ResponseWriter
-	rate int
-}
-
-func (p *pacedWriter) Header() http.Header { return p.rw.Header() }
-
-func (p *pacedWriter) WriteHeader(code int) { p.rw.WriteHeader(code) }
-
-func (p *pacedWriter) Write(b []byte) (int, error) {
-	const chunk = 512
-	fl, _ := p.rw.(http.Flusher)
-	written := 0
-	for off := 0; off < len(b); off += chunk {
-		end := off + chunk
-		if end > len(b) {
-			end = len(b)
-		}
-		n, err := p.rw.Write(b[off:end])
-		written += n
-		if err != nil {
-			return written, err
-		}
-		if fl != nil {
-			fl.Flush()
-		}
-		time.Sleep(time.Duration(n) * time.Second / time.Duration(p.rate))
-	}
-	return written, nil
+	return &http.Server{Handler: srv.Handler()}, size, nil
 }
 
 // cmdFetch downloads a served benchmark through the fault-tolerant

@@ -1,0 +1,271 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"nonstrict/internal/stream"
+)
+
+// benchApp is the workload for the serve benchmarks; Hanoi is the
+// smallest registered app, so cold numbers are dominated by the
+// pipeline, not by app size.
+const benchApp = "Hanoi"
+
+// switchableServer routes requests through an atomically swappable
+// *Server, so cold benchmarks can replace the whole cache per iteration
+// without paying listener setup inside the timed region.
+type switchableServer struct {
+	cur atomic.Pointer[Server]
+}
+
+func (sw *switchableServer) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	sw.cur.Load().Handler().ServeHTTP(w, r)
+}
+
+func (sw *switchableServer) reset(tb testing.TB) *Server {
+	s, err := New(Config{Apps: []string{benchApp}})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	sw.cur.Store(s)
+	return s
+}
+
+// fetchStream GETs the app stream and returns total bytes plus the time
+// from request start to the first unit's last byte (time-to-first-unit).
+func fetchStream(tb testing.TB, url string, firstUnitEnd int64) (n int64, ttfu time.Duration) {
+	tb.Helper()
+	start := time.Now()
+	resp, err := http.Get(url)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		tb.Fatalf("GET %s: %s", url, resp.Status)
+	}
+	buf := make([]byte, 32*1024)
+	for {
+		m, err := resp.Body.Read(buf)
+		n += int64(m)
+		if ttfu == 0 && n >= firstUnitEnd {
+			ttfu = time.Since(start)
+		}
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			tb.Fatal(err)
+		}
+	}
+	if ttfu == 0 {
+		ttfu = time.Since(start)
+	}
+	return n, ttfu
+}
+
+// firstUnitEnd parses the served unit table and returns the stream
+// offset one past the first unit.
+func firstUnitEnd(tb testing.TB, tsURL string) int64 {
+	tb.Helper()
+	resp, err := http.Get(tsURL + "/apps/" + benchApp + "/app.toc")
+	if err != nil {
+		tb.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	toc, err := stream.ParseTOC(raw)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	if len(toc) == 0 {
+		tb.Fatal("empty unit table")
+	}
+	return toc[0].Off + int64(toc[0].Len)
+}
+
+// BenchmarkColdServe: every iteration hits an empty cache, so the full
+// compile/predict/restructure/stream pipeline runs inside the timing.
+func BenchmarkColdServe(b *testing.B) {
+	sw := &switchableServer{}
+	sw.reset(b)
+	ts := httptest.NewServer(sw)
+	defer ts.Close()
+	end := firstUnitEnd(b, ts.URL)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		sw.reset(b) // drop the cache outside the timed region
+		b.StartTimer()
+		n, _ := fetchStream(b, ts.URL+"/apps/"+benchApp+"/app", end)
+		b.SetBytes(n)
+	}
+}
+
+// BenchmarkWarmServe: the artifact is resident; a request is a cache
+// hit plus ServeContent over shared immutable bytes.
+func BenchmarkWarmServe(b *testing.B) {
+	sw := &switchableServer{}
+	s := sw.reset(b)
+	ts := httptest.NewServer(sw)
+	defer ts.Close()
+	end := firstUnitEnd(b, ts.URL)
+	before := s.CacheStats().Builds
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n, _ := fetchStream(b, ts.URL+"/apps/"+benchApp+"/app", end)
+		b.SetBytes(n)
+	}
+	b.StopTimer()
+	if got := s.CacheStats().Builds; got != before {
+		b.Fatalf("warm benchmark ran %d builds", got-before)
+	}
+}
+
+// BenchmarkWarmServeParallel: many clients hammering one resident
+// artifact; measures contention on the cache's hot path.
+func BenchmarkWarmServeParallel(b *testing.B) {
+	sw := &switchableServer{}
+	sw.reset(b)
+	ts := httptest.NewServer(sw)
+	defer ts.Close()
+	url := ts.URL + "/apps/" + benchApp + "/app"
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			resp, err := http.Get(url)
+			if err != nil {
+				b.Fatal(err)
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+	})
+}
+
+type benchPhase struct {
+	Requests      int     `json:"requests"`
+	StreamsPerSec float64 `json:"streams_per_sec"`
+	TTFUMillis    float64 `json:"ttfu_ms"`
+	BytesPerSec   float64 `json:"bytes_per_sec"`
+}
+
+type benchReport struct {
+	App          string     `json:"app"`
+	Order        string     `json:"order"`
+	Cold         benchPhase `json:"cold"`
+	Warm         benchPhase `json:"warm"`
+	WarmOverCold float64    `json:"warm_over_cold"`
+	Cache        CacheStats `json:"cache"`
+}
+
+// TestBenchServeSmoke is the load-generator smoke: it measures cold and
+// warm streams/sec and time-to-first-unit against a live server, writes
+// BENCH_serve.json at the repo root (or $BENCH_SERVE_OUT), and gates on
+// the acceptance ratio — a warm cache must serve at least 10x the
+// cold-path request rate.
+func TestBenchServeSmoke(t *testing.T) {
+	sw := &switchableServer{}
+	s := sw.reset(t)
+	ts := httptest.NewServer(sw)
+	defer ts.Close()
+	url := ts.URL + "/apps/" + benchApp + "/app"
+	end := firstUnitEnd(t, ts.URL)
+
+	measure := func(n int, reset bool) benchPhase {
+		var total int64
+		var ttfuSum time.Duration
+		start := time.Now()
+		for i := 0; i < n; i++ {
+			if reset {
+				s = sw.reset(t)
+			}
+			m, ttfu := fetchStream(t, url, end)
+			total += m
+			ttfuSum += ttfu
+		}
+		el := time.Since(start)
+		return benchPhase{
+			Requests:      n,
+			StreamsPerSec: float64(n) / el.Seconds(),
+			TTFUMillis:    float64(ttfuSum.Milliseconds()) / float64(n),
+			BytesPerSec:   float64(total) / el.Seconds(),
+		}
+	}
+
+	cold := measure(8, true)
+	// Leave the last server resident and re-warm it for the warm phase.
+	if _, err := s.Warm(t.Context(), benchApp); err != nil {
+		t.Fatal(err)
+	}
+	warm := measure(200, false)
+
+	rep := benchReport{
+		App:          benchApp,
+		Order:        OrderStatic,
+		Cold:         cold,
+		Warm:         warm,
+		WarmOverCold: warm.StreamsPerSec / cold.StreamsPerSec,
+		Cache:        s.CacheStats(),
+	}
+	if rep.Cache.Builds != 1 {
+		t.Fatalf("warm phase ran %d builds, want 1 (warm-up only)", rep.Cache.Builds)
+	}
+	if rep.WarmOverCold < 10 {
+		t.Fatalf("warm/cold = %.1fx (warm %.0f vs cold %.0f streams/sec), acceptance wants >= 10x",
+			rep.WarmOverCold, warm.StreamsPerSec, cold.StreamsPerSec)
+	}
+
+	out, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out = append(out, '\n')
+	path := os.Getenv("BENCH_SERVE_OUT")
+	if path == "" {
+		root, err := repoRoot()
+		if err != nil {
+			t.Logf("skipping BENCH_serve.json: %v", err)
+			t.Logf("report:\n%s", out)
+			return
+		}
+		path = filepath.Join(root, "BENCH_serve.json")
+	}
+	if err := os.WriteFile(path, out, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %s: warm/cold = %.1fx, cold ttfu %.2fms, warm ttfu %.2fms",
+		path, rep.WarmOverCold, cold.TTFUMillis, warm.TTFUMillis)
+}
+
+// repoRoot walks up from the working directory to the module root.
+func repoRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod above %s", dir)
+		}
+		dir = parent
+	}
+}

@@ -1,0 +1,225 @@
+package server
+
+import (
+	"container/list"
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// DefaultCacheBytes is the artifact cache's byte budget when Config
+// leaves it zero: enough for every registered benchmark many times over,
+// small enough to matter under a deliberately tiny test budget.
+const DefaultCacheBytes = 64 << 20
+
+// Key identifies one cached artifact: the benchmark and the order policy
+// its stream was restructured under. Two policies for the same app are
+// distinct artifacts with distinct bytes and ETags.
+type Key struct {
+	App   string
+	Order string
+}
+
+func (k Key) String() string { return k.App + "/" + k.Order }
+
+// Artifact is one fully built, immutable serving unit: the interleaved
+// stream bytes, the precomputed marshaled unit table, and the
+// content-addressed validators for both. Every concurrent request for
+// the same (app, order) serves slices of the same byte arrays — the hot
+// path never copies or rebuilds them. Nothing in an Artifact may be
+// mutated after Build returns it.
+type Artifact struct {
+	Key Key
+	// Data is the interleaved virtual-file stream (header + units).
+	Data []byte
+	// TOC is the marshaled unit table served at /apps/{name}/app.toc.
+	TOC []byte
+	// ETag and TOCETag are strong validators derived from the content
+	// (sha256 prefixes), so repeat clients revalidate to 304 for free.
+	ETag, TOCETag string
+	// Units is the stream's unit count.
+	Units int
+	// BuildTime is how long the compile → predict → restructure →
+	// serialize pipeline took for this artifact.
+	BuildTime time.Duration
+}
+
+// size is the artifact's accountable footprint against the cache budget.
+func (a *Artifact) size() int64 { return int64(len(a.Data) + len(a.TOC)) }
+
+// etagFor derives a strong content-addressed validator.
+func etagFor(b []byte) string {
+	sum := sha256.Sum256(b)
+	return `"` + hex.EncodeToString(sum[:8]) + `"`
+}
+
+// CacheStats is a point-in-time snapshot of the cache's counters. The
+// JSON tags are the schema of the "cache" block in BENCH_serve.json and
+// of the /apps index — CI validates them by name.
+type CacheStats struct {
+	// Hits is requests answered from a resident artifact.
+	Hits int64 `json:"hits"`
+	// Misses is requests that found no resident artifact (the builder or
+	// an in-flight build's waiters; one build can absorb many misses).
+	Misses int64 `json:"misses"`
+	// Builds is pipeline executions — the number the warm path must
+	// never advance.
+	Builds int64 `json:"builds"`
+	// Evictions is artifacts dropped to fit the byte budget.
+	Evictions int64 `json:"evictions"`
+	// BuildSeconds is wall-clock seconds spent inside the build pipeline.
+	BuildSeconds float64 `json:"build_seconds"`
+	// Bytes and Entries describe the resident set.
+	Bytes   int64 `json:"bytes"`
+	Entries int   `json:"entries"`
+}
+
+// Cache is a content-addressed artifact cache with singleflight build
+// dedup and LRU eviction under a byte budget. N concurrent cold requests
+// for one key cost exactly one build: the first caller runs the
+// pipeline, the rest wait on its result. Warm requests are a map lookup
+// plus an LRU bump — zero pipeline work, shared immutable bytes.
+type Cache struct {
+	budget int64
+	build  func(ctx context.Context, k Key) (*Artifact, error)
+
+	mu       sync.Mutex
+	entries  map[Key]*list.Element
+	lru      *list.List // front = most recently used
+	bytes    int64
+	inflight map[Key]*flight
+
+	hits, misses, builds, evictions atomic.Int64
+	buildNanos                      atomic.Int64
+}
+
+type cacheEntry struct {
+	key Key
+	art *Artifact
+}
+
+// flight is one in-progress build and its waiters.
+type flight struct {
+	done chan struct{}
+	art  *Artifact
+	err  error
+}
+
+// NewCache builds a cache with the given byte budget (0 or negative
+// selects DefaultCacheBytes) over the given build function.
+func NewCache(budget int64, build func(ctx context.Context, k Key) (*Artifact, error)) *Cache {
+	if budget <= 0 {
+		budget = DefaultCacheBytes
+	}
+	return &Cache{
+		budget:   budget,
+		build:    build,
+		entries:  make(map[Key]*list.Element),
+		lru:      list.New(),
+		inflight: make(map[Key]*flight),
+	}
+}
+
+// Get returns the artifact for k, building it at most once no matter how
+// many callers arrive concurrently. hit reports whether the artifact was
+// already resident (no build, no wait). ctx bounds only this caller's
+// wait: the build itself is never canceled by one impatient client,
+// because its result is shared by every waiter and by future requests.
+func (c *Cache) Get(ctx context.Context, k Key) (art *Artifact, hit bool, err error) {
+	c.mu.Lock()
+	if el, ok := c.entries[k]; ok {
+		c.lru.MoveToFront(el)
+		art := el.Value.(*cacheEntry).art
+		c.mu.Unlock()
+		c.hits.Add(1)
+		return art, true, nil
+	}
+	if f, ok := c.inflight[k]; ok {
+		c.mu.Unlock()
+		c.misses.Add(1)
+		select {
+		case <-f.done:
+			return f.art, false, f.err
+		case <-ctx.Done():
+			return nil, false, ctx.Err()
+		}
+	}
+	f := &flight{done: make(chan struct{})}
+	c.inflight[k] = f
+	c.mu.Unlock()
+	c.misses.Add(1)
+
+	start := time.Now()
+	// context.Background(), deliberately: the artifact outlives the
+	// request that happened to arrive first.
+	f.art, f.err = c.build(context.Background(), k)
+	c.builds.Add(1)
+	c.buildNanos.Add(int64(time.Since(start)))
+	if f.err != nil {
+		f.err = fmt.Errorf("server: building %s: %w", k, f.err)
+	}
+
+	c.mu.Lock()
+	delete(c.inflight, k)
+	if f.err == nil {
+		c.insertLocked(k, f.art)
+	}
+	c.mu.Unlock()
+	close(f.done)
+	return f.art, false, f.err
+}
+
+// Peek returns the resident artifact for k without building, waiting, or
+// counting a hit — the observability path.
+func (c *Cache) Peek(k Key) *Artifact {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[k]; ok {
+		return el.Value.(*cacheEntry).art
+	}
+	return nil
+}
+
+// insertLocked adds art under k and evicts from the cold end until the
+// resident set fits the budget again. The newly inserted artifact is
+// never evicted by its own insertion, so a budget smaller than one
+// artifact still serves (with a resident set of exactly one).
+func (c *Cache) insertLocked(k Key, art *Artifact) {
+	if el, ok := c.entries[k]; ok {
+		// A racing build for the same key already landed; keep the
+		// resident copy authoritative.
+		c.lru.MoveToFront(el)
+		return
+	}
+	el := c.lru.PushFront(&cacheEntry{key: k, art: art})
+	c.entries[k] = el
+	c.bytes += art.size()
+	for c.bytes > c.budget && c.lru.Len() > 1 {
+		last := c.lru.Back()
+		e := last.Value.(*cacheEntry)
+		c.lru.Remove(last)
+		delete(c.entries, e.key)
+		c.bytes -= e.art.size()
+		c.evictions.Add(1)
+	}
+}
+
+// Stats snapshots the cache counters.
+func (c *Cache) Stats() CacheStats {
+	c.mu.Lock()
+	bytes, entries := c.bytes, c.lru.Len()
+	c.mu.Unlock()
+	return CacheStats{
+		Hits:         c.hits.Load(),
+		Misses:       c.misses.Load(),
+		Builds:       c.builds.Load(),
+		Evictions:    c.evictions.Load(),
+		BuildSeconds: time.Duration(c.buildNanos.Load()).Seconds(),
+		Bytes:        bytes,
+		Entries:      entries,
+	}
+}

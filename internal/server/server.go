@@ -1,0 +1,339 @@
+// Package server is the multi-tenant non-strict code server: it serves
+// every registered benchmark as an interleaved virtual file under
+// /apps/{name}/app (with its unit table at /apps/{name}/app.toc),
+// backed by a content-addressed artifact cache. The expensive
+// compile → predict → restructure → serialize pipeline runs exactly
+// once per (app, order-policy) key — concurrent cold requests
+// singleflight onto one build — and the hot byte-serving path is
+// allocation-light: every response streams slices of the same immutable
+// cached arrays, validated by content-addressed ETags so repeat clients
+// revalidate to 304 and pay nothing at all.
+//
+// Layering, outermost first: request counting (so /metrics sees every
+// body byte that went on the wire, faults included) wraps the fault
+// layer (so chaos schedules apply to cache hits exactly as to cold
+// builds) wraps the cached app mux. /metrics and /debug/vars sit
+// outside both — the instruments watching a chaos run must never be
+// corrupted by it.
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+
+	"nonstrict/internal/apps"
+	"nonstrict/internal/cfg"
+	"nonstrict/internal/classfile"
+	"nonstrict/internal/experiments"
+	"nonstrict/internal/jir"
+	"nonstrict/internal/reorder"
+	"nonstrict/internal/restructure"
+	"nonstrict/internal/stream"
+)
+
+// Order policies: how the served stream is restructured. The policy is
+// part of the cache key — each policy is a distinct artifact.
+const (
+	// OrderStatic is the §4.1 static call-graph first-use prediction:
+	// computable from the program alone, no profiling run.
+	OrderStatic = "scg"
+	// OrderTrain and OrderTest are the §4.2 profile-guided predictions;
+	// building them executes the benchmark on the corresponding input,
+	// which is exactly the kind of cost the cache exists to pay once.
+	OrderTrain = "train"
+	OrderTest  = "test"
+)
+
+// Config configures one code server.
+type Config struct {
+	// Apps is the benchmark names to mount under /apps/{name}/...; nil
+	// mounts every registered benchmark.
+	Apps []string
+	// DefaultApp, when set, additionally aliases /app and /app.toc to
+	// the named benchmark — the single-tenant paths older clients use.
+	DefaultApp string
+	// Order is the restructuring policy (OrderStatic, OrderTrain,
+	// OrderTest); empty means OrderStatic.
+	Order string
+	// CacheBytes bounds the artifact cache (0 = DefaultCacheBytes).
+	CacheBytes int64
+	// Rate throttles stream bodies to N bytes/second (0 = unthrottled).
+	Rate int
+	// Fault is the chaos layer wrapped around every app request —
+	// including cache hits. The zero value injects nothing.
+	Fault stream.Fault
+}
+
+// Server serves restructured virtual files for many apps from one
+// artifact cache.
+type Server struct {
+	order   string
+	rate    int
+	apps    []string
+	mounted map[string]bool
+	cache   *Cache
+	metrics *Metrics
+	handler http.Handler
+}
+
+// New builds a server. The cache starts cold; use Warm to prebuild.
+func New(c Config) (*Server, error) {
+	switch c.Order {
+	case "":
+		c.Order = OrderStatic
+	case OrderStatic, OrderTrain, OrderTest:
+	default:
+		return nil, fmt.Errorf("server: unknown order policy %q (want %s, %s, or %s)",
+			c.Order, OrderStatic, OrderTrain, OrderTest)
+	}
+	names := c.Apps
+	if names == nil {
+		for _, a := range apps.All() {
+			names = append(names, a.Name)
+		}
+	}
+	s := &Server{
+		order:   c.Order,
+		rate:    c.Rate,
+		apps:    names,
+		mounted: make(map[string]bool, len(names)),
+	}
+	for _, n := range names {
+		if _, err := apps.ByName(n); err != nil {
+			return nil, err
+		}
+		s.mounted[n] = true
+	}
+	if c.DefaultApp != "" && !s.mounted[c.DefaultApp] {
+		if _, err := apps.ByName(c.DefaultApp); err != nil {
+			return nil, err
+		}
+		s.apps = append(s.apps, c.DefaultApp)
+		s.mounted[c.DefaultApp] = true
+	}
+	s.cache = NewCache(c.CacheBytes, Build)
+	s.metrics = newMetrics(s.cache)
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/apps", s.handleIndex)
+	mux.HandleFunc("/apps/{name}/app", func(w http.ResponseWriter, r *http.Request) {
+		s.serveArtifact(w, r, r.PathValue("name"), false)
+	})
+	mux.HandleFunc("/apps/{name}/app.toc", func(w http.ResponseWriter, r *http.Request) {
+		s.serveArtifact(w, r, r.PathValue("name"), true)
+	})
+	if c.DefaultApp != "" {
+		mux.HandleFunc("/app", func(w http.ResponseWriter, r *http.Request) {
+			s.serveArtifact(w, r, c.DefaultApp, false)
+		})
+		mux.HandleFunc("/app.toc", func(w http.ResponseWriter, r *http.Request) {
+			s.serveArtifact(w, r, c.DefaultApp, true)
+		})
+	}
+	fault := c.Fault
+	fault.Counters = s.metrics.faults
+	outer := http.NewServeMux()
+	outer.Handle("/metrics", s.metrics.handler())
+	outer.Handle("/debug/vars", expvarHandler())
+	outer.Handle("/", s.metrics.wrap(fault.Wrap(mux)))
+	s.handler = outer
+	publishExpvars(s.metrics)
+	return s, nil
+}
+
+// Handler returns the server's root handler, ready to mount in an
+// http.Server.
+func (s *Server) Handler() http.Handler { return s.handler }
+
+// Apps returns the mounted benchmark names.
+func (s *Server) Apps() []string { return append([]string(nil), s.apps...) }
+
+// Order returns the active order policy.
+func (s *Server) Order() string { return s.order }
+
+// CacheStats snapshots the artifact cache counters.
+func (s *Server) CacheStats() CacheStats { return s.cache.Stats() }
+
+// Warm builds (or finds) the named app's artifact and returns its stream
+// size — the serve command uses it to prebuild its default app so the
+// first real client never pays the cold build.
+func (s *Server) Warm(ctx context.Context, name string) (int64, error) {
+	if !s.mounted[name] {
+		return 0, fmt.Errorf("server: app %q is not mounted", name)
+	}
+	art, _, err := s.cache.Get(ctx, Key{App: name, Order: s.order})
+	if err != nil {
+		return 0, err
+	}
+	return int64(len(art.Data)), nil
+}
+
+// serveArtifact is the hot path: resolve the artifact (cache hit in the
+// steady state), set the content-addressed validators, and stream the
+// shared immutable bytes. http.ServeContent supplies Range (206) and
+// If-None-Match (304) handling against the reader and ETag we hand it.
+func (s *Server) serveArtifact(w http.ResponseWriter, r *http.Request, name string, toc bool) {
+	if !s.mounted[name] {
+		http.NotFound(w, r)
+		return
+	}
+	art, _, err := s.cache.Get(r.Context(), Key{App: name, Order: s.order})
+	if err != nil {
+		if r.Context().Err() != nil {
+			return // client gone; nothing useful to write
+		}
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	data, etag, ctype := art.Data, art.ETag, "application/octet-stream"
+	if toc {
+		data, etag, ctype = art.TOC, art.TOCETag, "application/json"
+	}
+	h := w.Header()
+	h.Set("ETag", etag)
+	h.Set("Cache-Control", "public, max-age=31536000, immutable")
+	h.Set("Content-Type", ctype)
+	rw := w
+	if s.rate > 0 {
+		rw = &pacedWriter{rw: w, rate: s.rate}
+	}
+	http.ServeContent(rw, r, "", time.Time{}, bytes.NewReader(data))
+}
+
+// appStatus is one row of the /apps index.
+type appStatus struct {
+	Name  string `json:"name"`
+	Order string `json:"order"`
+	// Built reports whether the artifact is resident right now; Size,
+	// Units, and ETag are present only when it is.
+	Built bool   `json:"built"`
+	Size  int64  `json:"size,omitempty"`
+	Units int    `json:"units,omitempty"`
+	ETag  string `json:"etag,omitempty"`
+	URL   string `json:"url"`
+}
+
+// handleIndex lists the mounted apps and their cache residency as JSON —
+// the discovery endpoint for multi-tenant clients.
+func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
+	out := make([]appStatus, 0, len(s.apps))
+	for _, n := range s.apps {
+		st := appStatus{Name: n, Order: s.order, URL: "/apps/" + n + "/app"}
+		if art := s.cache.Peek(Key{App: n, Order: s.order}); art != nil {
+			st.Built = true
+			st.Size = int64(len(art.Data))
+			st.Units = art.Units
+			st.ETag = art.ETag
+		}
+		out = append(out, st)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(out)
+}
+
+// Build runs the full artifact pipeline for one key: compile the app,
+// predict its first-use order under the key's policy, restructure,
+// serialize the interleaved stream, and precompute the marshaled unit
+// table and content-addressed validators. This is the expensive function
+// the cache exists to run exactly once per key.
+func Build(ctx context.Context, k Key) (*Artifact, error) {
+	app, err := apps.ByName(k.App)
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	var (
+		rp *classfile.Program
+		ix *classfile.Index
+		o  *reorder.Order
+	)
+	switch k.Order {
+	case OrderStatic:
+		prog, err := jir.Compile(app.IR)
+		if err != nil {
+			return nil, err
+		}
+		ix = prog.IndexMethods()
+		graphs, err := cfg.BuildAll(ix)
+		if err != nil {
+			return nil, err
+		}
+		if o, err = reorder.Static(ix, graphs); err != nil {
+			return nil, err
+		}
+		rp = restructure.Apply(prog, ix, o)
+	case OrderTrain, OrderTest:
+		b, err := experiments.LoadCtx(ctx, app)
+		if err != nil {
+			return nil, err
+		}
+		kind := experiments.Train
+		if k.Order == OrderTest {
+			kind = experiments.Test
+		}
+		ord, prepared, _, _ := b.Prepared(kind)
+		o, rp, ix = ord, prepared, b.Ix
+	default:
+		return nil, fmt.Errorf("server: unknown order policy %q", k.Order)
+	}
+	w, err := stream.NewWriter(rp, ix, o)
+	if err != nil {
+		return nil, err
+	}
+	var buf bytes.Buffer
+	buf.Grow(int(w.Size()))
+	if _, err := w.WriteTo(&buf); err != nil {
+		return nil, err
+	}
+	toc, err := stream.MarshalTOC(w.TOC())
+	if err != nil {
+		return nil, err
+	}
+	data := buf.Bytes()
+	return &Artifact{
+		Key:       k,
+		Data:      data,
+		TOC:       toc,
+		ETag:      etagFor(data),
+		TOCETag:   etagFor(toc),
+		Units:     w.Units(),
+		BuildTime: time.Since(start),
+	}, nil
+}
+
+// pacedWriter throttles the response body to simulate a slow link,
+// flushing each chunk so the client sees steady progress.
+type pacedWriter struct {
+	rw   http.ResponseWriter
+	rate int
+}
+
+func (p *pacedWriter) Header() http.Header { return p.rw.Header() }
+
+func (p *pacedWriter) WriteHeader(code int) { p.rw.WriteHeader(code) }
+
+func (p *pacedWriter) Write(b []byte) (int, error) {
+	const chunk = 512
+	fl, _ := p.rw.(http.Flusher)
+	written := 0
+	for off := 0; off < len(b); off += chunk {
+		end := off + chunk
+		if end > len(b) {
+			end = len(b)
+		}
+		n, err := p.rw.Write(b[off:end])
+		written += n
+		if err != nil {
+			return written, err
+		}
+		if fl != nil {
+			fl.Flush()
+		}
+		time.Sleep(time.Duration(n) * time.Second / time.Duration(p.rate))
+	}
+	return written, nil
+}

@@ -1,0 +1,378 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"nonstrict/internal/stream"
+)
+
+// testServer spins up one code server over httptest.
+func testServer(t testing.TB, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+// get fetches one URL and returns the response and body.
+func get(t testing.TB, url string, hdr map[string]string) (*http.Response, []byte) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodGet, url, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, v := range hdr {
+		req.Header.Set(k, v)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, b
+}
+
+// TestMultiTenantEndpoints: every registered app is served under
+// /apps/{name}/app with a parseable unit table, the /apps index lists
+// them with cache residency, and unknown apps 404.
+func TestMultiTenantEndpoints(t *testing.T) {
+	s, ts := testServer(t, Config{})
+	resp, body := get(t, ts.URL+"/apps/Hanoi/app", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /apps/Hanoi/app: %s", resp.Status)
+	}
+	if len(body) == 0 {
+		t.Fatal("empty stream")
+	}
+	if et := resp.Header.Get("ETag"); et == "" {
+		t.Error("stream response missing ETag")
+	}
+	if cc := resp.Header.Get("Cache-Control"); !strings.Contains(cc, "immutable") {
+		t.Errorf("Cache-Control = %q, want immutable", cc)
+	}
+	resp, tocBytes := get(t, ts.URL+"/apps/Hanoi/app.toc", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /apps/Hanoi/app.toc: %s", resp.Status)
+	}
+	toc, err := stream.ParseTOC(tocBytes)
+	if err != nil {
+		t.Fatalf("served unit table does not parse: %v", err)
+	}
+	if len(toc) == 0 {
+		t.Fatal("empty unit table")
+	}
+	// The table describes the stream exactly.
+	last := toc[len(toc)-1]
+	if want := last.Off + int64(last.Len); int64(len(body)) != want {
+		t.Errorf("stream is %d bytes, unit table ends at %d", len(body), want)
+	}
+
+	resp, _ = get(t, ts.URL+"/apps/NoSuchApp/app", nil)
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown app: %s, want 404", resp.Status)
+	}
+
+	resp, idx := get(t, ts.URL+"/apps", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /apps: %s", resp.Status)
+	}
+	var rows []appStatus
+	if err := json.Unmarshal(idx, &rows); err != nil {
+		t.Fatalf("/apps index does not parse: %v\n%s", err, idx)
+	}
+	if len(rows) != len(s.Apps()) {
+		t.Fatalf("index lists %d apps, server mounts %d", len(rows), len(s.Apps()))
+	}
+	seenBuilt := false
+	for _, r := range rows {
+		if r.Name == "Hanoi" {
+			if !r.Built || r.Size != int64(len(body)) {
+				t.Errorf("index row for Hanoi = %+v, want built with size %d", r, len(body))
+			}
+			seenBuilt = true
+		}
+	}
+	if !seenBuilt {
+		t.Error("index missing Hanoi")
+	}
+}
+
+// TestDefaultAppAlias: /app and /app.toc serve the configured default
+// app byte-identically to its multi-tenant paths.
+func TestDefaultAppAlias(t *testing.T) {
+	_, ts := testServer(t, Config{DefaultApp: "Hanoi"})
+	_, viaAlias := get(t, ts.URL+"/app", nil)
+	_, viaTenant := get(t, ts.URL+"/apps/Hanoi/app", nil)
+	if string(viaAlias) != string(viaTenant) {
+		t.Error("/app and /apps/Hanoi/app served different bytes")
+	}
+	_, aliasTOC := get(t, ts.URL+"/app.toc", nil)
+	_, tenantTOC := get(t, ts.URL+"/apps/Hanoi/app.toc", nil)
+	if string(aliasTOC) != string(tenantTOC) {
+		t.Error("/app.toc and /apps/Hanoi/app.toc served different bytes")
+	}
+}
+
+// TestCacheConcurrentColdFetch is the correctness-under-concurrency
+// gate, run with -race in CI: many goroutines cold-fetch the same and
+// different apps simultaneously; every key builds exactly once, every
+// response for a key is byte-identical, and a matching If-None-Match
+// revalidates to 304 with no body.
+func TestCacheConcurrentColdFetch(t *testing.T) {
+	apps := []string{"Hanoi", "BIT"}
+	s, ts := testServer(t, Config{Apps: apps})
+	const perApp = 16
+	type result struct {
+		app  string
+		body string
+		etag string
+	}
+	results := make(chan result, perApp*len(apps)*2)
+	var wg sync.WaitGroup
+	for _, app := range apps {
+		for i := 0; i < perApp; i++ {
+			wg.Add(1)
+			go func(app string) {
+				defer wg.Done()
+				resp, body := get(t, ts.URL+"/apps/"+app+"/app", nil)
+				if resp.StatusCode != http.StatusOK {
+					t.Errorf("%s: %s", app, resp.Status)
+					return
+				}
+				results <- result{app, string(body), resp.Header.Get("ETag")}
+			}(app)
+			wg.Add(1)
+			go func(app string) {
+				defer wg.Done()
+				resp, body := get(t, ts.URL+"/apps/"+app+"/app.toc", nil)
+				if resp.StatusCode != http.StatusOK {
+					t.Errorf("%s toc: %s", app, resp.Status)
+					return
+				}
+				results <- result{app + ".toc", string(body), resp.Header.Get("ETag")}
+			}(app)
+		}
+	}
+	wg.Wait()
+	close(results)
+
+	first := map[string]result{}
+	for r := range results {
+		if prev, ok := first[r.app]; ok {
+			if prev.body != r.body {
+				t.Fatalf("%s: concurrent requests saw different bytes", r.app)
+			}
+			if prev.etag != r.etag {
+				t.Fatalf("%s: concurrent requests saw different ETags", r.app)
+			}
+		} else {
+			first[r.app] = r
+		}
+	}
+
+	st := s.CacheStats()
+	if want := int64(len(apps)); st.Builds != want {
+		t.Fatalf("builds = %d, want exactly %d (one per key; stats %+v)", st.Builds, want, st)
+	}
+	if st.Hits == 0 {
+		t.Error("no cache hits across concurrent fetches")
+	}
+
+	// Revalidation: a matching If-None-Match is a 304 with no body —
+	// the repeat client pays nothing.
+	for _, app := range apps {
+		etag := first[app].etag
+		resp, body := get(t, ts.URL+"/apps/"+app+"/app", map[string]string{"If-None-Match": etag})
+		if resp.StatusCode != http.StatusNotModified {
+			t.Errorf("%s revalidation: %s, want 304", app, resp.Status)
+		}
+		if len(body) != 0 {
+			t.Errorf("%s: 304 carried %d body bytes", app, len(body))
+		}
+		// A stale validator re-serves the full artifact.
+		resp, body = get(t, ts.URL+"/apps/"+app+"/app", map[string]string{"If-None-Match": `"deadbeef"`})
+		if resp.StatusCode != http.StatusOK || len(body) == 0 {
+			t.Errorf("%s stale revalidation: %s with %d bytes, want 200 with body", app, resp.Status, len(body))
+		}
+	}
+	if st := s.CacheStats(); st.Builds != int64(len(apps)) {
+		t.Errorf("revalidation ran builds (builds = %d)", st.Builds)
+	}
+}
+
+// TestWarmRequestZeroPipelineWork is the acceptance assertion: once an
+// app is built, further requests perform zero pipeline work — the build
+// counter must not move.
+func TestWarmRequestZeroPipelineWork(t *testing.T) {
+	s, ts := testServer(t, Config{Apps: []string{"Hanoi"}})
+	if _, err := s.Warm(context.Background(), "Hanoi"); err != nil {
+		t.Fatal(err)
+	}
+	before := s.CacheStats()
+	if before.Builds != 1 {
+		t.Fatalf("warm-up builds = %d, want 1", before.Builds)
+	}
+	for i := 0; i < 10; i++ {
+		get(t, ts.URL+"/apps/Hanoi/app", nil)
+		get(t, ts.URL+"/apps/Hanoi/app.toc", nil)
+	}
+	after := s.CacheStats()
+	if after.Builds != before.Builds {
+		t.Fatalf("warm requests ran %d extra builds", after.Builds-before.Builds)
+	}
+	if after.Hits < 20 {
+		t.Errorf("hits = %d, want >= 20", after.Hits)
+	}
+	if after.BuildSeconds <= 0 {
+		t.Error("BuildSeconds not accounted")
+	}
+}
+
+// TestServerEviction: a budget sized below two artifacts forces the
+// cache to evict, and the evicted app transparently rebuilds on the
+// next request.
+func TestServerEviction(t *testing.T) {
+	// Find Hanoi's artifact size to pick a budget that holds one
+	// artifact but not two.
+	art, err := Build(context.Background(), Key{App: "Hanoi", Order: OrderStatic})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, ts := testServer(t, Config{Apps: []string{"Hanoi", "BIT"}, CacheBytes: art.size() + 64})
+	_, first := get(t, ts.URL+"/apps/Hanoi/app", nil)
+	get(t, ts.URL+"/apps/BIT/app", nil)
+	st := s.CacheStats()
+	if st.Evictions == 0 {
+		t.Fatalf("no evictions under a one-artifact budget (stats %+v)", st)
+	}
+	// Hanoi was evicted; the next request rebuilds it byte-identically.
+	_, again := get(t, ts.URL+"/apps/Hanoi/app", nil)
+	if string(first) != string(again) {
+		t.Error("rebuilt artifact differs from the original")
+	}
+	if st := s.CacheStats(); st.Builds < 3 {
+		t.Errorf("builds = %d, want >= 3 (Hanoi, BIT, Hanoi again)", st.Builds)
+	}
+}
+
+// TestFaultWrapsCacheHits is the chaos-interop gate: the fault layer
+// wraps the multi-tenant mux per-request, so cache hits see exactly the
+// same injected corruption as cold builds, the fault counters advance on
+// hits, and /metrics itself stays outside the blast radius.
+func TestFaultWrapsCacheHits(t *testing.T) {
+	s, ts := testServer(t, Config{
+		Apps:  []string{"Hanoi"},
+		Fault: stream.Fault{CorruptEvery: 701, Seed: 9},
+	})
+	clean, err := Build(context.Background(), Key{App: "Hanoi", Order: OrderStatic})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	_, first := get(t, ts.URL+"/apps/Hanoi/app", nil)
+	corruptAfterCold := s.metrics.FaultCounts().CorruptedBytes
+	if corruptAfterCold == 0 {
+		t.Fatal("cold request was not corrupted")
+	}
+	if string(first) == string(clean.Data) {
+		t.Fatal("fault layer did not touch the cold response")
+	}
+
+	_, second := get(t, ts.URL+"/apps/Hanoi/app", nil)
+	st := s.CacheStats()
+	if st.Hits == 0 {
+		t.Fatalf("second request was not a cache hit (stats %+v)", st)
+	}
+	corruptAfterHit := s.metrics.FaultCounts().CorruptedBytes
+	if corruptAfterHit <= corruptAfterCold {
+		t.Fatal("cache hit bypassed fault injection (corruption counter did not advance)")
+	}
+	if string(second) == string(clean.Data) {
+		t.Fatal("cache hit served clean bytes through an active fault layer")
+	}
+	// Corruption is byte-positional and seeded: the hit corrupts exactly
+	// as the cold request did, so both responses are identical.
+	if string(first) != string(second) {
+		t.Error("seeded corruption differed between cold and warm responses")
+	}
+
+	// The /metrics counters saw both requests, and the exposition is
+	// itself uncorrupted (it parses; it is outside the fault layer).
+	resp, metrics := get(t, ts.URL+"/metrics", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics: %s", resp.Status)
+	}
+	for _, want := range []string{
+		"nonstrict_http_requests_total 2",
+		"nonstrict_cache_hits_total 1",
+		"nonstrict_cache_misses_total 1",
+		"nonstrict_cache_builds_total 1",
+		`nonstrict_fault_injections_total{kind="corrupt_byte"}`,
+	} {
+		if !strings.Contains(string(metrics), want) {
+			t.Errorf("/metrics missing %q:\n%s", want, metrics)
+		}
+	}
+}
+
+// TestFlakyTOCOnWarmCache: a TOC fault schedule applies even when the
+// artifact is resident — the 503 comes from the fault layer, not from a
+// missing build.
+func TestFlakyTOCOnWarmCache(t *testing.T) {
+	s, ts := testServer(t, Config{Apps: []string{"Hanoi"}, Fault: stream.Fault{FlakyTOC: 1}})
+	if _, err := s.Warm(context.Background(), "Hanoi"); err != nil {
+		t.Fatal(err)
+	}
+	resp, _ := get(t, ts.URL+"/apps/Hanoi/app.toc", nil)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("first TOC request: %s, want 503 from the fault layer", resp.Status)
+	}
+	resp, body := get(t, ts.URL+"/apps/Hanoi/app.toc", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("second TOC request: %s", resp.Status)
+	}
+	if _, err := stream.ParseTOC(body); err != nil {
+		t.Errorf("recovered TOC does not parse: %v", err)
+	}
+	if st := s.CacheStats(); st.Builds != 1 {
+		t.Errorf("builds = %d, want 1 (the 503 must not trigger a rebuild)", st.Builds)
+	}
+}
+
+// TestServerConfigValidation: unknown apps and policies fail at New.
+func TestServerConfigValidation(t *testing.T) {
+	if _, err := New(Config{Apps: []string{"NoSuchApp"}}); err == nil {
+		t.Error("unknown app accepted")
+	}
+	if _, err := New(Config{Order: "bogus"}); err == nil {
+		t.Error("unknown order policy accepted")
+	}
+	if _, err := New(Config{DefaultApp: "NoSuchApp"}); err == nil {
+		t.Error("unknown default app accepted")
+	}
+	s, err := New(Config{Apps: []string{"BIT"}, DefaultApp: "Hanoi"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Warm(context.Background(), "Hanoi"); err != nil {
+		t.Errorf("default app not mounted: %v", err)
+	}
+	if _, err := s.Warm(context.Background(), "Jess"); err == nil {
+		t.Error("unmounted app warmed")
+	}
+}

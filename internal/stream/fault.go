@@ -309,7 +309,17 @@ func (w *faultWriter) writeChunk(p []byte) (int, error) {
 	if w.f.CorruptEvery > 0 && !w.noCorrupt {
 		// Corrupt positions are 1-based multiples of CorruptEvery within
 		// the request body; copy so the caller's buffer stays intact.
-		q := append([]byte(nil), p...)
+		// The copy is pooled: the bytes are consumed by rw.Write before
+		// this function returns, so the scratch can be recycled.
+		var q []byte
+		if len(p) <= copyBufSize {
+			bp := copyBufPool.Get().(*[]byte)
+			defer copyBufPool.Put(bp)
+			q = (*bp)[:len(p)]
+			copy(q, p)
+		} else {
+			q = append([]byte(nil), p...)
+		}
 		first := w.f.CorruptEvery - (w.pos % w.f.CorruptEvery) - 1
 		for i := first; i < int64(len(q)); i += w.f.CorruptEvery {
 			q[i] ^= w.f.corruptMask(w.pos + i)

@@ -399,7 +399,9 @@ func (r *resumeReader) tryConnect() error {
 }
 
 func discardN(body io.Reader, n int64, watchdog *time.Timer, timeout time.Duration) error {
-	buf := make([]byte, 32*1024)
+	bp := copyBufPool.Get().(*[]byte)
+	defer copyBufPool.Put(bp)
+	buf := *bp
 	for n > 0 {
 		chunk := int64(len(buf))
 		if chunk > n {

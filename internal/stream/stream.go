@@ -403,12 +403,17 @@ func (l *Loader) Load(r io.Reader, onEvent func(Event)) error {
 		if n > maxUnitSize {
 			return fmt.Errorf("%w: unit of %d bytes", ErrBadStream, n)
 		}
-		payload := make([]byte, n)
+		// Payload buffers are pooled: a unit that installs retains its
+		// buffer forever, but duplicates (demand fetches racing the main
+		// stream), corrupt copies, and quarantine-skipped bodies discard
+		// theirs, and those are recycled instead of re-allocated.
+		payload := getPayloadBuf(n)
 		if _, err := io.ReadFull(r, payload); err != nil {
 			return fmt.Errorf("%w: reading %d-byte unit: %v", ErrBadStream, n, err)
 		}
 		units++
 		if ChecksumPayload(payload) != crc {
+			putPayloadBuf(payload) // the corrupt copy is dead either way
 			repaired, err := l.repairUnit(ci, kind, n, crc)
 			if err != nil {
 				return err
@@ -424,11 +429,14 @@ func (l *Loader) Load(r io.Reader, onEvent func(Event)) error {
 		digest = crc32.Update(digest, crcTable, payload)
 		l.mu.Lock()
 		l.consumed += headerSize + int64(n)
-		ev, err := l.feed(ci, kind, payload)
+		ev, retained, err := l.feed(ci, kind, payload)
 		l.mainUnits++
 		l.mu.Unlock()
 		if err != nil {
 			return err
+		}
+		if !retained {
+			putPayloadBuf(payload)
 		}
 		l.Obs.Emit(obs.UnitArrived, fmt.Sprintf("class %d %s", ci, kindName(kind)), int64(n), 0)
 		if onEvent != nil {
@@ -512,8 +520,11 @@ func kindName(kind byte) string {
 }
 
 // feed processes one main-stream unit and returns the events it
-// produced. Callers hold l.mu.
-func (l *Loader) feed(ci int, kind byte, payload []byte) ([]Event, error) {
+// produced. retained reports whether the payload buffer was installed
+// (and so must never be recycled); skipped duplicates and
+// quarantine-shadowed bodies leave it free for the pool. Callers hold
+// l.mu.
+func (l *Loader) feed(ci int, kind byte, payload []byte) (ev []Event, retained bool, err error) {
 	switch kind {
 	case KindGlobal:
 		if _, dup := l.classes[ci]; dup {
@@ -521,11 +532,12 @@ func (l *Loader) feed(ci int, kind byte, payload []byte) ([]Event, error) {
 				// The demand path already delivered this class's global
 				// data; the main stream's copy is redundant.
 				l.fromDemand[ci] = false
-				return nil, nil
+				return nil, false, nil
 			}
-			return nil, fmt.Errorf("%w: duplicate global unit for class %d", ErrBadStream, ci)
+			return nil, false, fmt.Errorf("%w: duplicate global unit for class %d", ErrBadStream, ci)
 		}
-		return l.installGlobal(ci, payload)
+		ev, err = l.installGlobal(ci, payload)
+		return ev, err == nil, err
 
 	case KindBody:
 		c, ok := l.classes[ci]
@@ -541,23 +553,24 @@ func (l *Loader) feed(ci int, kind byte, payload []byte) ([]Event, error) {
 				l.quarantined[quarKey{ci, KindBody, bi}] = QuarantinedUnit{
 					Class: ci, Kind: KindBody, Body: bi, Len: len(payload), CRC: ChecksumPayload(payload)}
 				l.integ.Quarantined++
-				return nil, nil
+				return nil, false, nil
 			}
-			return nil, fmt.Errorf("%w: body before global data for class %d", ErrBadStream, ci)
+			return nil, false, fmt.Errorf("%w: body before global data for class %d", ErrBadStream, ci)
 		}
 		bi := l.mainNext[ci]
 		if bi >= len(c.Methods) {
-			return nil, fmt.Errorf("%w: class %s: extra body unit", ErrBadStream, c.Name)
+			return nil, false, fmt.Errorf("%w: class %s: extra body unit", ErrBadStream, c.Name)
 		}
 		l.mainNext[ci] = bi + 1
 		if l.present[ci][bi] {
 			// Already demand-fetched out of order; skip the re-delivery.
-			return nil, nil
+			return nil, false, nil
 		}
-		return l.installBody(ci, bi, payload)
+		ev, err = l.installBody(ci, bi, payload)
+		return ev, err == nil, err
 
 	default:
-		return nil, fmt.Errorf("%w: unknown unit kind %d", ErrBadStream, kind)
+		return nil, false, fmt.Errorf("%w: unknown unit kind %d", ErrBadStream, kind)
 	}
 }
 
