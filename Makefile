@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race lint bench-smoke bench-serve live-smoke chaos trace-smoke ci clean
+.PHONY: all build test race lint bench-smoke bench-serve live-smoke chaos trace-smoke fleet-smoke ci clean
 
 all: build
 
@@ -19,6 +19,9 @@ lint:
 	$(GO) vet ./...
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
 		echo "gofmt needed on:" >&2; echo "$$out" >&2; exit 1; fi
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; else \
+		echo "staticcheck not installed; skipping (CI runs it)"; fi
 
 # The CI gate: the concurrent runner must reproduce the paper tables
 # byte-identically to the serial path.
@@ -59,7 +62,15 @@ chaos:
 trace-smoke:
 	$(GO) test -run 'TestRunRemoteTraceAndSummary|TestServeMetricsDuringChaos' -v ./cmd/nonstrict
 
-ci: build lint test race bench-smoke bench-serve live-smoke chaos trace-smoke
+# The fleet gate, under -race: 8 synthetic apps x 200 clients x 3 link
+# classes replayed against the real in-process server; writes
+# BENCH_fleet.json at the repo root with per-link p50/p99/p999
+# first-invocation latency, mispredict and demand-fetch rates, and
+# cache behaviour. Every client must finish clean.
+fleet-smoke:
+	$(GO) test -race -run TestBenchFleetSmoke -v ./internal/fleet
+
+ci: build lint test race bench-smoke bench-serve live-smoke chaos trace-smoke fleet-smoke
 
 clean:
 	$(GO) clean ./...

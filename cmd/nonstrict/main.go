@@ -18,6 +18,8 @@
 //	nonstrict run-remote <url> -name N
 //	                               execute it while it streams in
 //	nonstrict trace <file>         summarize an exported run trace
+//	nonstrict synth [flags]        generate seeded synthetic apps
+//	nonstrict fleet [flags]        replay a client fleet over link models
 package main
 
 import (
@@ -65,7 +67,14 @@ commands:
                        -trace FILE exports a Chrome trace of the run,
                        -trace-summary prints the measured stall
                        attribution beside the simulator's predictions)
-  trace <file>         summarize a trace exported by run-remote -trace`)
+  trace <file>         summarize a trace exported by run-remote -trace
+  synth [flags]        generate seeded synthetic apps and print their
+                       measured shape (-seed, -n, plus structure knobs:
+                       -classes, -methods, -fanout, -hot, -exec, -data)
+  fleet [flags]        replay thousands of simulated clients against the
+                       in-process server over seeded link models and
+                       write BENCH_fleet.json (-apps, -clients, -links,
+                       -seed, -duration, -order, -scale, -out)`)
 	os.Exit(2)
 }
 
@@ -118,6 +127,10 @@ func dispatch(ctx context.Context, cmd string, args []string, out io.Writer) err
 		return cmdRunRemote(ctx, args, out)
 	case "trace":
 		return cmdTrace(args, out)
+	case "synth":
+		return cmdSynth(args, out)
+	case "fleet":
+		return cmdFleet(ctx, args, out)
 	default:
 		return errUsage
 	}

@@ -13,6 +13,7 @@ package apps
 
 import (
 	"fmt"
+	"sync"
 
 	"nonstrict/internal/jir"
 	"nonstrict/internal/vm"
@@ -44,17 +45,42 @@ func (a *App) Args(train bool) []int64 {
 }
 
 // builders is populated by each benchmark file's init; tableOrder is the
-// paper's Table 1 order.
+// paper's Table 1 order. Registration of non-paper apps (synthesized
+// workloads) happens at run time, possibly while server builds resolve
+// names concurrently, so the registry is guarded by mu.
 var (
+	mu         sync.RWMutex
 	builders   = map[string]func() *App{}
 	tableOrder = []string{"BIT", "Hanoi", "JavaCup", "Jess", "JHLZip", "TestDes"}
 )
 
 func register(name string, f func() *App) { builders[name] = f }
 
+// Register adds a non-paper app — a synthesized workload — to the
+// registry so it resolves through ByName and flows through the same
+// compile → predict → restructure → stream → serve pipeline as the six
+// paper benchmarks. The paper's Table 1 set (returned by All) is not
+// affected. Registering a name twice, or shadowing a paper benchmark,
+// is an error.
+func Register(name string, f func() *App) error {
+	if name == "" || f == nil {
+		return fmt.Errorf("apps: Register needs a name and a builder")
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if _, ok := builders[name]; ok {
+		return fmt.Errorf("apps: app %q is already registered", name)
+	}
+	builders[name] = f
+	return nil
+}
+
 // All returns the registered benchmarks in the paper's table order.
-// Construction is deterministic.
+// Construction is deterministic. Apps added with Register are not
+// included; resolve them with ByName.
 func All() []*App {
+	mu.RLock()
+	defer mu.RUnlock()
 	var out []*App
 	for _, name := range tableOrder {
 		if f, ok := builders[name]; ok {
@@ -64,9 +90,13 @@ func All() []*App {
 	return out
 }
 
-// ByName returns the named benchmark (case-sensitive, as in Table 1).
+// ByName returns the named benchmark (case-sensitive, as in Table 1) or
+// registered synthetic app.
 func ByName(name string) (*App, error) {
-	if f, ok := builders[name]; ok {
+	mu.RLock()
+	f, ok := builders[name]
+	mu.RUnlock()
+	if ok {
 		return f(), nil
 	}
 	return nil, fmt.Errorf("apps: unknown benchmark %q", name)

@@ -1,0 +1,111 @@
+package fleet
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"nonstrict/internal/server"
+	"nonstrict/internal/stream"
+	"nonstrict/internal/synth"
+)
+
+// TestBenchFleetSmoke is the CI fleet gate: 8 synthetic apps × 200
+// clients × 3 link classes against the real server, writing
+// BENCH_fleet.json at the repo root (or $BENCH_FLEET_OUT). The asserts
+// here mirror the CI schema check — p99 first-invocation latency finite
+// and positive, mispredict rate in [0,1], zero failed clients, builds
+// equal to the app count — so a regression fails locally the same way
+// it fails in CI.
+func TestBenchFleetSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fleet smoke is not a -short test")
+	}
+	names, _, err := synth.RegisterSuite(0xBE9C4, 8, synth.Params{Name: "fleetbench"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	links, err := stream.ParseLinks("modem,t1,lte")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{
+		Apps:      names,
+		Clients:   200,
+		Links:     links,
+		Seed:      1998, // the paper's year; any seed works
+		Order:     server.OrderTrain,
+		Duration:  400 * time.Millisecond,
+		TimeScale: 2000,
+		ThinkMean: time.Millisecond,
+	}
+	start := time.Now()
+	rep, err := Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, l := range rep.Links {
+		if l.Failures != 0 {
+			t.Errorf("link %s: %d failed clients", l.Link, l.Failures)
+		}
+		q := l.FirstInvocationMs
+		if !(q.P50 > 0 && q.P99 >= q.P50 && q.P999 >= q.P99 && q.Max >= q.P999) {
+			t.Errorf("link %s: degenerate latency quantiles %+v", l.Link, q)
+		}
+		if l.MispredictRate < 0 || l.MispredictRate > 1 {
+			t.Errorf("link %s: mispredict rate %v outside [0,1]", l.Link, l.MispredictRate)
+		}
+	}
+	if rep.Cache.Builds != int64(len(names)) {
+		t.Errorf("%d builds for %d apps; clients leaked into the build path", rep.Cache.Builds, len(names))
+	}
+	if t.Failed() {
+		t.FailNow()
+	}
+
+	out, err := rep.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out = append(out, '\n')
+	path := os.Getenv("BENCH_FLEET_OUT")
+	if path == "" {
+		root, err := repoRoot()
+		if err != nil {
+			t.Logf("skipping BENCH_fleet.json: %v", err)
+			t.Logf("report:\n%s", out)
+			return
+		}
+		path = filepath.Join(root, "BENCH_fleet.json")
+	}
+	if err := os.WriteFile(path, out, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	for _, l := range rep.Links {
+		t.Logf("%-9s p50 %7.2fms  p99 %7.2fms  p999 %7.2fms  mispredict %5.1f%%  overlap %.2f",
+			l.Link, l.FirstInvocationMs.P50, l.FirstInvocationMs.P99, l.FirstInvocationMs.P999,
+			100*l.MispredictRate, l.MeanOverlap)
+	}
+	t.Logf("wrote %s: %d clients over %d apps in %v", path, cfg.Clients, len(names), time.Since(start).Round(time.Millisecond))
+}
+
+// repoRoot walks up from the working directory to the module root.
+func repoRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod above %s", dir)
+		}
+		dir = parent
+	}
+}

@@ -1,0 +1,408 @@
+// Package fleet replays populations of simulated clients against the
+// real code server — the scale dimension the paper's six-benchmark
+// evaluation lacks. The server is the production internal/server
+// handler mounted on an in-process net.Pipe listener; every client is a
+// real HTTP client whose connections are shaped by a stream.LinkClass
+// schedule (modem, T1, LTE-class bursty loss, satellite latency), whose
+// stream flows through the real stream.Loader with verification and
+// repair, and whose demand fetches are real byte-range requests.
+//
+// What a client does NOT do is execute bytecode: at fleet scale the VM
+// is replaced by a need trace — the method first-use order measured
+// from one real test-input execution of the app — replayed with seeded
+// think time. Whether a need is a mispredict is decided positionally
+// against the unit table (would the predicted order have made this need
+// wait behind other methods' bytes?), so mispredict, demand-fetch, and
+// byte counts depend only on (seed, config), while latency and overlap
+// are measured from the actual transfer. Reports land in
+// BENCH_fleet.json; Canonical() strips the wall-clock fields for
+// determinism checks.
+package fleet
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+
+	"nonstrict/internal/apps"
+	"nonstrict/internal/classfile"
+	"nonstrict/internal/jir"
+	"nonstrict/internal/server"
+	"nonstrict/internal/stream"
+	"nonstrict/internal/vm"
+	"nonstrict/internal/xrand"
+)
+
+// Config describes one fleet run.
+type Config struct {
+	// Apps is the registered app names to mount and exercise; clients
+	// are assigned round-robin. Required.
+	Apps []string
+	// Clients is the total simulated client count (default 100).
+	Clients int
+	// Links is the link-class mix; clients are striped across it
+	// (default: every built-in class).
+	Links []stream.LinkClass
+	// Seed drives every schedule: arrivals, think time, link jitter and
+	// loss positions, fetch backoff jitter.
+	Seed uint64
+	// Order is the server's restructuring policy (default train — the
+	// honest configuration, where the profile that predicted the order
+	// is not the input being replayed).
+	Order string
+	// Duration is the simulated arrival window: client start times are
+	// spread across it (default 1s of simulated time).
+	Duration time.Duration
+	// TimeScale divides every simulated sleep — link pacing, latency,
+	// think time, arrival offsets — so a modem-schedule fleet can run in
+	// milliseconds of wall clock without changing any schedule decision
+	// (default 1: real time).
+	TimeScale float64
+	// ThinkMean is the simulated execute time between needs (default
+	// 2ms; drawn uniformly from [mean/2, 3·mean/2) per need).
+	ThinkMean time.Duration
+	// Workers bounds concurrently active clients (default 128), keeping
+	// memory flat while the total client count scales arbitrarily.
+	Workers int
+	// GateTimeout bounds each in-order wait and the final stream drain,
+	// in wall-clock time (default 30s). A wedged transfer fails the
+	// client instead of hanging the fleet.
+	GateTimeout time.Duration
+	// CacheBytes bounds the server's artifact cache (0 = server default).
+	CacheBytes int64
+	// Fault is injected server-side chaos, applied on top of the link
+	// schedules (zero = none).
+	Fault stream.Fault
+}
+
+func (c Config) withDefaults() Config {
+	if c.Clients <= 0 {
+		c.Clients = 100
+	}
+	if len(c.Links) == 0 {
+		c.Links, _ = stream.ParseLinks("")
+	}
+	if c.Order == "" {
+		c.Order = server.OrderTrain
+	}
+	if c.Duration <= 0 {
+		c.Duration = time.Second
+	}
+	if c.TimeScale <= 0 {
+		c.TimeScale = 1
+	}
+	if c.ThinkMean <= 0 {
+		c.ThinkMean = 2 * time.Millisecond
+	}
+	if c.Workers <= 0 {
+		c.Workers = 128
+	}
+	if c.GateTimeout == 0 {
+		c.GateTimeout = 30 * time.Second
+	}
+	return c
+}
+
+// appModel is the per-app ground truth shared by every client of that
+// app: the need trace (method first-use order measured from a real
+// test-input execution) and the program's main class. Immutable after
+// construction.
+type appModel struct {
+	name      string
+	mainClass string
+	needs     []classfile.Ref
+}
+
+// buildModel executes the app once on its test input to measure the
+// need trace — the same first-use order the VM would demand if it were
+// executing at the client.
+func buildModel(app *apps.App) (*appModel, error) {
+	prog, err := jir.Compile(app.IR)
+	if err != nil {
+		return nil, fmt.Errorf("fleet: %s: %w", app.Name, err)
+	}
+	ln, err := vm.Link(prog)
+	if err != nil {
+		return nil, fmt.Errorf("fleet: %s: %w", app.Name, err)
+	}
+	m, err := ln.Run(vm.Options{Args: app.Args(false)})
+	if err != nil {
+		return nil, fmt.Errorf("fleet: %s: test run: %w", app.Name, err)
+	}
+	ix := ln.Index()
+	fu := m.Profile().FirstUse
+	needs := make([]classfile.Ref, len(fu))
+	for i, id := range fu {
+		needs[i] = ix.Ref(id)
+	}
+	return &appModel{name: app.Name, mainClass: app.IR.Main, needs: needs}, nil
+}
+
+// memListener is an in-process net.Listener over net.Pipe: the server
+// accepts one end, the fleet dials the other, and no socket, port, or
+// kernel buffer is involved. Pipe writes are synchronous, so a slow
+// shaped reader exerts true backpressure on the serving goroutine.
+type memListener struct {
+	conns  chan net.Conn
+	closed chan struct{}
+	once   sync.Once
+}
+
+func newMemListener() *memListener {
+	return &memListener{conns: make(chan net.Conn), closed: make(chan struct{})}
+}
+
+func (l *memListener) Accept() (net.Conn, error) {
+	select {
+	case c := <-l.conns:
+		return c, nil
+	case <-l.closed:
+		return nil, errors.New("fleet: listener closed")
+	}
+}
+
+func (l *memListener) Close() error {
+	l.once.Do(func() { close(l.closed) })
+	return nil
+}
+
+func (l *memListener) Addr() net.Addr { return memAddr{} }
+
+// dial hands the server one pipe end and returns the other.
+func (l *memListener) dial(ctx context.Context) (net.Conn, error) {
+	client, srv := net.Pipe()
+	select {
+	case l.conns <- srv:
+		return client, nil
+	case <-l.closed:
+		client.Close()
+		return nil, errors.New("fleet: listener closed")
+	case <-ctx.Done():
+		client.Close()
+		return nil, ctx.Err()
+	}
+}
+
+type memAddr struct{}
+
+func (memAddr) Network() string { return "mem" }
+func (memAddr) String() string  { return "fleet" }
+
+// Run executes one fleet simulation and aggregates the report.
+func Run(ctx context.Context, cfg Config) (*Report, error) {
+	cfg = cfg.withDefaults()
+	if len(cfg.Apps) == 0 {
+		return nil, errors.New("fleet: no apps configured")
+	}
+
+	srv, err := server.New(server.Config{
+		Apps:       cfg.Apps,
+		Order:      cfg.Order,
+		CacheBytes: cfg.CacheBytes,
+		Fault:      cfg.Fault,
+	})
+	if err != nil {
+		return nil, err
+	}
+	ln := newMemListener()
+	hs := &http.Server{Handler: srv.Handler()}
+	serveDone := make(chan struct{})
+	go func() {
+		defer close(serveDone)
+		hs.Serve(ln)
+	}()
+	defer func() {
+		hs.Close()
+		ln.Close()
+		<-serveDone
+	}()
+
+	// Prebuild every artifact and measure every need trace up front:
+	// builds are then a deterministic len(apps), and client metrics
+	// never include compile time.
+	models := make(map[string]*appModel, len(cfg.Apps))
+	for _, name := range cfg.Apps {
+		if _, err := srv.Warm(ctx, name); err != nil {
+			return nil, err
+		}
+		app, err := apps.ByName(name)
+		if err != nil {
+			return nil, err
+		}
+		m, err := buildModel(app)
+		if err != nil {
+			return nil, err
+		}
+		models[name] = m
+	}
+
+	agg := newAggregator(cfg.Links)
+	sem := make(chan struct{}, cfg.Workers)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i := 0; i < cfg.Clients; i++ {
+		linkIdx := i % len(cfg.Links)
+		appName := cfg.Apps[(i/len(cfg.Links))%len(cfg.Apps)]
+		c := &client{
+			id:    i,
+			seed:  clientSeed(cfg.Seed, uint64(i)),
+			cfg:   &cfg,
+			link:  cfg.Links[linkIdx],
+			model: models[appName],
+			dial:  ln.dial,
+		}
+		// The seeded arrival process: client i starts at its slot in the
+		// window, jittered within the slot.
+		slot := cfg.Duration / time.Duration(cfg.Clients)
+		offset := time.Duration(i) * slot
+		if slot > 0 {
+			offset += time.Duration(xrand.New(c.seed ^ 0xA11).Intn(int(slot)))
+		}
+		wg.Add(1)
+		go func(linkIdx int, offset time.Duration) {
+			defer wg.Done()
+			sleepScaled(ctx, offset, cfg.TimeScale)
+			select {
+			case sem <- struct{}{}:
+				defer func() { <-sem }()
+			case <-ctx.Done():
+				agg.add(linkIdx, &clientResult{failed: true, err: ctx.Err()})
+				return
+			}
+			agg.add(linkIdx, c.run(ctx))
+		}(linkIdx, offset)
+	}
+	wg.Wait()
+
+	rep := agg.report(cfg, srv.CacheStats(), time.Since(start))
+	return rep, nil
+}
+
+// clientSeed derives a per-client seed stream (splitmix64 finalizer),
+// so client i's schedule is independent of every other client's and of
+// how many there are.
+func clientSeed(seed, i uint64) uint64 {
+	x := seed + (i+1)*0x9E3779B97F4A7C15
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	if x == 0 {
+		x = 1
+	}
+	return x
+}
+
+// sleepScaled sleeps d divided by scale, abandoning early on ctx.
+func sleepScaled(ctx context.Context, d time.Duration, scale float64) {
+	d = time.Duration(float64(d) / scale)
+	if d <= 0 {
+		return
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+	case <-ctx.Done():
+	}
+}
+
+// aggregator collects client results per link class.
+type aggregator struct {
+	mu    sync.Mutex
+	links []stream.LinkClass
+	per   []*linkAgg
+}
+
+type linkAgg struct {
+	clients, failures                                     int
+	needs, mispredicts, demands, streamBytes, demandBytes int64
+	corruptUnits, repaired                                int64
+	requests, retries, resumes                            int64
+	firstMs                                               []float64
+	overlapSum                                            float64
+	overlapN                                              int
+	errs                                                  []string
+}
+
+func newAggregator(links []stream.LinkClass) *aggregator {
+	per := make([]*linkAgg, len(links))
+	for i := range per {
+		per[i] = &linkAgg{}
+	}
+	return &aggregator{links: links, per: per}
+}
+
+func (a *aggregator) add(link int, r *clientResult) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	la := a.per[link]
+	la.clients++
+	if r.failed {
+		la.failures++
+		if len(la.errs) < 3 && r.err != nil {
+			la.errs = append(la.errs, r.err.Error())
+		}
+		return
+	}
+	la.needs += r.needs
+	la.mispredicts += r.mispredicts
+	la.demands += r.demands
+	la.streamBytes += r.streamBytes
+	la.demandBytes += r.demandBytes
+	la.corruptUnits += r.corruptUnits
+	la.repaired += r.repaired
+	la.requests += r.fetch.Requests
+	la.retries += r.fetch.Retries
+	la.resumes += r.fetch.Resumes
+	la.firstMs = append(la.firstMs, float64(r.firstInvocation)/float64(time.Millisecond))
+	la.overlapSum += r.overlap
+	la.overlapN++
+}
+
+func (a *aggregator) report(cfg Config, cache server.CacheStats, wall time.Duration) *Report {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	rep := &Report{
+		SchemaVersion: Schema,
+		Seed:          cfg.Seed,
+		Order:         cfg.Order,
+		Apps:          append([]string(nil), cfg.Apps...),
+		Clients:       cfg.Clients,
+		TimeScale:     cfg.TimeScale,
+		DurationMs:    float64(wall) / float64(time.Millisecond),
+		Cache:         cache,
+	}
+	for i, la := range a.per {
+		lr := LinkReport{
+			Link:          a.links[i].Name,
+			Clients:       la.clients,
+			Failures:      la.failures,
+			Needs:         la.needs,
+			Mispredicts:   la.mispredicts,
+			DemandFetches: la.demands,
+			StreamBytes:   la.streamBytes,
+			DemandBytes:   la.demandBytes,
+			CorruptUnits:  la.corruptUnits,
+			Repaired:      la.repaired,
+			Requests:      la.requests,
+			Retries:       la.retries,
+			Resumes:       la.resumes,
+			Errors:        la.errs,
+		}
+		if la.needs > 0 {
+			lr.MispredictRate = float64(la.mispredicts) / float64(la.needs)
+		}
+		lr.FirstInvocationMs = quantiles(la.firstMs)
+		if la.overlapN > 0 {
+			lr.MeanOverlap = la.overlapSum / float64(la.overlapN)
+		}
+		rep.Links = append(rep.Links, lr)
+	}
+	return rep
+}

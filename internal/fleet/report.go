@@ -1,0 +1,127 @@
+package fleet
+
+import (
+	"encoding/json"
+	"sort"
+
+	"nonstrict/internal/server"
+)
+
+// Schema identifies the BENCH_fleet.json layout; bump on breaking
+// change so CI schema checks fail loudly instead of misreading.
+const Schema = "fleet/v1"
+
+// Quantiles is a latency distribution summary in milliseconds.
+type Quantiles struct {
+	P50  float64 `json:"p50"`
+	P99  float64 `json:"p99"`
+	P999 float64 `json:"p999"`
+	Max  float64 `json:"max"`
+}
+
+// LinkReport aggregates every client that ran on one link class.
+//
+// Two kinds of fields coexist. Counting fields (Needs, Mispredicts,
+// DemandFetches, StreamBytes, DemandBytes, Failures) are decided by the
+// deterministic positional model against the unit table, so they depend
+// only on (seed, config) — never on scheduling. Wall-clock fields
+// (latency quantiles, overlap, transfer retries) measure the actual run
+// and vary run to run; Canonical zeroes them.
+type LinkReport struct {
+	Link     string `json:"link"`
+	Clients  int    `json:"clients"`
+	Failures int    `json:"failures"`
+	// Needs counts first-invocation demands across the link's clients;
+	// Mispredicts is the subset the predicted stream order would have
+	// made wait behind other methods' bytes, each of which issued
+	// demand fetches (DemandFetches counts the range requests).
+	Needs          int64   `json:"needs"`
+	Mispredicts    int64   `json:"mispredicts"`
+	MispredictRate float64 `json:"mispredict_rate"`
+	DemandFetches  int64   `json:"demand_fetches"`
+	StreamBytes    int64   `json:"stream_bytes"`
+	DemandBytes    int64   `json:"demand_bytes"`
+	// CorruptUnits and Repaired count server-side chaos damage detected
+	// and healed by the loaders' verification and repair path. Corrupt
+	// positions are request-relative, so resumes shift them: these are
+	// wall-clock-class fields under lossy links.
+	CorruptUnits int64 `json:"corrupt_units"`
+	Repaired     int64 `json:"repaired"`
+	// Requests/Retries/Resumes snapshot the fetch clients' transport
+	// counters; on lossy links the retry schedule depends on connection
+	// interleaving, so these are wall-clock-class fields.
+	Requests int64 `json:"requests"`
+	Retries  int64 `json:"retries"`
+	Resumes  int64 `json:"resumes"`
+	// FirstInvocationMs is the distribution of client start → first
+	// method runnable, the fleet-scale version of the paper's Table 4
+	// invocation latency.
+	FirstInvocationMs Quantiles `json:"first_invocation_ms"`
+	// MeanOverlap averages per-client overlap (fraction of the client's
+	// window not spent stalled on bytes), as sim.Result.Overlap.
+	MeanOverlap float64 `json:"mean_overlap"`
+	// Errors samples the first few client failure messages, so a CI
+	// report with nonzero Failures explains itself.
+	Errors []string `json:"errors,omitempty"`
+}
+
+// Report is the BENCH_fleet.json document.
+type Report struct {
+	SchemaVersion string   `json:"schema"`
+	Seed          uint64   `json:"seed"`
+	Order         string   `json:"order"`
+	Apps          []string `json:"apps"`
+	Clients       int      `json:"clients"`
+	TimeScale     float64  `json:"time_scale"`
+	// DurationMs is the wall-clock length of the whole run.
+	DurationMs float64           `json:"duration_ms"`
+	Links      []LinkReport      `json:"links"`
+	Cache      server.CacheStats `json:"cache"`
+}
+
+// Canonical returns a copy with every wall-clock-derived field zeroed,
+// leaving exactly the fields the determinism contract covers: two runs
+// with the same seed and config must produce identical Canonical()
+// documents no matter how the scheduler interleaved them.
+func (r *Report) Canonical() *Report {
+	c := *r
+	c.DurationMs = 0
+	c.Links = append([]LinkReport(nil), r.Links...)
+	for i := range c.Links {
+		l := &c.Links[i]
+		l.Requests, l.Retries, l.Resumes = 0, 0, 0
+		l.CorruptUnits, l.Repaired = 0, 0
+		l.FirstInvocationMs = Quantiles{}
+		l.MeanOverlap = 0
+		l.Errors = nil
+	}
+	c.Cache.Hits, c.Cache.Misses, c.Cache.BuildSeconds = 0, 0, 0
+	return &c
+}
+
+// MarshalJSON renders the report with stable formatting.
+func (r *Report) JSON() ([]byte, error) {
+	return json.MarshalIndent(r, "", "  ")
+}
+
+// quantiles summarizes a sample of millisecond latencies with the
+// nearest-rank method. An empty sample yields zeros — never NaN or Inf,
+// which would poison the JSON encoder.
+func quantiles(ms []float64) Quantiles {
+	if len(ms) == 0 {
+		return Quantiles{}
+	}
+	s := append([]float64(nil), ms...)
+	sort.Float64s(s)
+	rank := func(q float64) float64 {
+		i := int(q*float64(len(s))+0.9999) - 1
+		if i < 0 {
+			i = 0
+		}
+		if i >= len(s) {
+			i = len(s) - 1
+		}
+		return s[i]
+	}
+	return Quantiles{P50: rank(0.50), P99: rank(0.99), P999: rank(0.999), Max: s[len(s)-1]}
+}

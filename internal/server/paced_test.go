@@ -1,0 +1,58 @@
+package server
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+// TestPacedWriteAbandonsDeadClients is the fleet-scale regression for
+// the pacing sleep: when a throttled client disconnects mid-stream, the
+// serving goroutine must notice the cancelled request context and
+// return promptly instead of sleeping through the remainder of the pace
+// schedule. Before the fix the per-chunk sleep ignored the context, so
+// every dead throttled client pinned a goroutine (and its response
+// buffers) for up to the full artifact's pace time.
+func TestPacedWriteAbandonsDeadClients(t *testing.T) {
+	// 128 B/s: each 512-byte chunk is followed by a 4-second sleep, so
+	// draining even one 32 KiB copy buffer after disconnect would take
+	// minutes — far beyond the close budget asserted below.
+	s, err := New(Config{Apps: []string{"Hanoi"}, Rate: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Warm(context.Background(), "Hanoi"); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, ts.URL+"/apps/Hanoi/app", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Read the first paced chunk so the handler is provably mid-stream,
+	// then walk away.
+	buf := make([]byte, 256)
+	if _, err := resp.Body.Read(buf); err != nil {
+		t.Fatal(err)
+	}
+	cancel()
+	resp.Body.Close()
+
+	// Close blocks until every in-flight handler returns; a handler
+	// still honouring the pace schedule of a dead client would hold it
+	// for multiple 4-second sleeps.
+	start := time.Now()
+	ts.Close()
+	if d := time.Since(start); d > 3*time.Second {
+		t.Fatalf("server took %v to shed a disconnected throttled client", d)
+	}
+}

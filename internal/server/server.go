@@ -199,7 +199,7 @@ func (s *Server) serveArtifact(w http.ResponseWriter, r *http.Request, name stri
 	h.Set("Content-Type", ctype)
 	rw := w
 	if s.rate > 0 {
-		rw = &pacedWriter{rw: w, rate: s.rate}
+		rw = &pacedWriter{rw: w, rate: s.rate, ctx: r.Context()}
 	}
 	http.ServeContent(rw, r, "", time.Time{}, bytes.NewReader(data))
 }
@@ -306,10 +306,15 @@ func Build(ctx context.Context, k Key) (*Artifact, error) {
 }
 
 // pacedWriter throttles the response body to simulate a slow link,
-// flushing each chunk so the client sees steady progress.
+// flushing each chunk so the client sees steady progress. Its sleeps
+// watch the request context: at fleet scale a slow pace outlives many
+// clients, and a sleep that ignores cancellation pins one server
+// goroutine (plus the response buffers it references) per dead client
+// for however long the remaining pace schedule runs.
 type pacedWriter struct {
 	rw   http.ResponseWriter
 	rate int
+	ctx  context.Context
 }
 
 func (p *pacedWriter) Header() http.Header { return p.rw.Header() }
@@ -333,7 +338,13 @@ func (p *pacedWriter) Write(b []byte) (int, error) {
 		if fl != nil {
 			fl.Flush()
 		}
-		time.Sleep(time.Duration(n) * time.Second / time.Duration(p.rate))
+		t := time.NewTimer(time.Duration(n) * time.Second / time.Duration(p.rate))
+		select {
+		case <-t.C:
+		case <-p.ctx.Done():
+			t.Stop()
+			return written, p.ctx.Err()
+		}
 	}
 	return written, nil
 }

@@ -8,6 +8,7 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"sync"
 	"testing"
 	"time"
 )
@@ -337,5 +338,60 @@ func TestFaultCounters(t *testing.T) {
 	var nilStats *FaultStats
 	if nilStats.Snapshot() != (FaultCounts{}) {
 		t.Error("nil FaultStats snapshot not zero")
+	}
+}
+
+// TestFaultScheduleIsolatedAcrossClients is the fleet-scale audit of the
+// fault layer's per-connection state: every byte-positional schedule
+// (corruption positions, masks, truncation point) lives in a faultWriter
+// allocated per request, so thousands of concurrent clients must each
+// observe exactly the schedule a lone serial client observes — no shared
+// cursor, no cross-request drift. Run under -race in the chaos gate.
+func TestFaultScheduleIsolatedAcrossClients(t *testing.T) {
+	data := testPayload(8 << 10)
+	f := Fault{CorruptEvery: 192, TruncateAfter: 6 << 10, Seed: 11}
+	srv := serveBytes(t, data, f)
+
+	fetch := func() ([]byte, error) {
+		resp, err := http.Get(srv.URL + "/app")
+		if err != nil {
+			return nil, err
+		}
+		defer resp.Body.Close()
+		return io.ReadAll(resp.Body)
+	}
+
+	// Serial baseline first: the schedule one unhurried client sees.
+	want, err := fetch()
+	if err != nil && !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatal(err)
+	}
+	if int64(len(want)) != f.TruncateAfter {
+		t.Fatalf("baseline delivered %d bytes, want truncation at %d", len(want), f.TruncateAfter)
+	}
+	if bytes.Equal(want, data[:len(want)]) {
+		t.Fatal("baseline saw pristine bytes; corruption schedule inactive")
+	}
+
+	const clients = 64
+	got := make([][]byte, clients)
+	errs := make([]error, clients)
+	var wg sync.WaitGroup
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			got[i], errs[i] = fetch()
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < clients; i++ {
+		if errs[i] != nil && !errors.Is(errs[i], io.ErrUnexpectedEOF) {
+			t.Fatalf("client %d: %v", i, errs[i])
+		}
+		if !bytes.Equal(got[i], want) {
+			t.Fatalf("client %d observed a different fault schedule than the serial baseline (%d vs %d bytes)",
+				i, len(got[i]), len(want))
+		}
 	}
 }
