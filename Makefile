@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race lint bench-smoke bench-serve live-smoke chaos trace-smoke fleet-smoke ci clean
+.PHONY: all build test race lint bench-smoke bench-serve live-smoke chaos trace-smoke fleet-smoke check-smoke ci clean
 
 all: build
 
@@ -70,7 +70,18 @@ trace-smoke:
 fleet-smoke:
 	$(GO) test -race -run TestBenchFleetSmoke -v ./internal/fleet
 
-ci: build lint test race bench-smoke bench-serve live-smoke chaos trace-smoke fleet-smoke
+# The concurrency-soundness gate, under -race: the internal/check
+# interleaving enumerators replay every schedule of the scripted cache
+# and loader scenarios against the executable specs (zero divergence
+# required), then a few fixed-seed randomized stress rounds assert the
+# pinned invariants (DESIGN.md §7). The nightly runs the long
+# time-seeded soak; `nonstrict check` runs the same machinery from the
+# CLI.
+check-smoke:
+	$(GO) test -race -run 'TestCacheInterleavings|TestLoaderInterleavings|TestStressShort' \
+		-v ./internal/check
+
+ci: build lint test race bench-smoke bench-serve live-smoke chaos trace-smoke fleet-smoke check-smoke
 
 clean:
 	$(GO) clean ./...

@@ -20,6 +20,7 @@
 //	nonstrict trace <file>         summarize an exported run trace
 //	nonstrict synth [flags]        generate seeded synthetic apps
 //	nonstrict fleet [flags]        replay a client fleet over link models
+//	nonstrict check [flags]        run the concurrency interleaving checker
 package main
 
 import (
@@ -74,7 +75,12 @@ commands:
   fleet [flags]        replay thousands of simulated clients against the
                        in-process server over seeded link models and
                        write BENCH_fleet.json (-apps, -clients, -links,
-                       -seed, -duration, -order, -scale, -out)`)
+                       -seed, -duration, -order, -scale, -out)
+  check [flags]        run the concurrency-soundness checker: exhaustive
+                       interleaving enumeration of the cache and loader
+                       state machines against their executable specs
+                       (-ops, -keys, -stepped, -full), plus optional
+                       seeded randomized stress (-stress N, -seed)`)
 	os.Exit(2)
 }
 
@@ -131,6 +137,8 @@ func dispatch(ctx context.Context, cmd string, args []string, out io.Writer) err
 		return cmdSynth(args, out)
 	case "fleet":
 		return cmdFleet(ctx, args, out)
+	case "check":
+		return cmdCheck(args, out)
 	default:
 		return errUsage
 	}

@@ -500,3 +500,18 @@ func TestRunRemoteTraceAndSummary(t *testing.T) {
 		t.Error("trace of a non-trace file succeeded")
 	}
 }
+
+// TestCheck smoke-tests the concurrency checker subcommand at its
+// smallest useful size: 2 concurrent cache ops, 3 stepped loader
+// units, one stress round with a fixed seed.
+func TestCheck(t *testing.T) {
+	out := capture(t, "check", "-ops", "2", "-stepped", "3", "-stress", "1", "-seed", "7")
+	for _, want := range []string{"cache:", "loader:", "zero divergence", "stress: 1 rounds from seed 7"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("check output missing %q:\n%s", want, out)
+		}
+	}
+	if err := captureErr(t, "check", "-ops", "nope"); err == nil {
+		t.Error("check with a malformed flag succeeded")
+	}
+}

@@ -1,0 +1,74 @@
+// Package check is the executable specification and interleaving
+// checker for the repo's hand-rolled shared-state fast paths: the
+// artifact cache's singleflight build/LRU machinery (internal/server)
+// and the stream loader's feed/demand/quarantine/repair machinery
+// (internal/stream).
+//
+// The discipline is the memalloy one: write the state machine twice.
+// The spec side is a few hundred lines of pure, single-threaded Go that
+// says what each operation *means*; the implementation side is the real
+// concurrent code. A small-interleaving enumerator walks every schedule
+// of 2–4 concurrent operations, drives the real implementation through
+// that exact schedule with determinism hooks (a scripted build function,
+// the cache's WaitHook, a step-controlled stream reader), and diffs
+// every observable — per-call results, emitted events, counters, the
+// resident set — against the spec. Any divergence is a bug in one of
+// the two, and either way worth knowing.
+//
+// The invariants pinned here (see DESIGN.md "Pinned invariants"):
+//
+//   - at most one build per key, no matter how many concurrent callers;
+//   - every waiter eventually unblocks — even when the build errors,
+//     panics, or the waiter's context dies (watchdog-enforced);
+//   - no artifact byte is mutated after publish, and equal builds are
+//     the same artifact pointer;
+//   - LRU byte accounting exactly matches the resident set;
+//   - no pooled payload buffer is reused while an installed unit
+//     retains a slice of it (installed bytes stay immutable);
+//   - loader events are exactly-once per unit however the main stream,
+//     demand fetches, and repair replies interleave, and a healed or
+//     demand-covered unit never leaves a stale quarantine entry.
+//
+// Alongside the exhaustive small-schedule walk, RunStress drives the
+// same objects with seeded randomized schedules (run under -race, env-
+// gated long mode for nightly) asserting the same invariants, and
+// prints the failing seed for local reproduction.
+package check
+
+import (
+	"fmt"
+	"time"
+)
+
+// watchdog bounds every wait the checker performs on the real
+// implementation. A schedule that trips it has lost a wakeup — the
+// "every waiter eventually unblocks" invariant rendered as a timeout.
+const watchdog = 10 * time.Second
+
+// errClass buckets an operation's error for spec comparison: the spec
+// predicts the class of error, not its exact text.
+type errClass int
+
+const (
+	errNone errClass = iota
+	errCanceled
+	errBuild
+	errPanic
+	errDemand // loader: demand fed out of protocol (body before global)
+)
+
+func (e errClass) String() string {
+	switch e {
+	case errNone:
+		return "nil"
+	case errCanceled:
+		return "canceled"
+	case errBuild:
+		return "build-error"
+	case errPanic:
+		return "build-panic"
+	case errDemand:
+		return "demand-error"
+	}
+	return fmt.Sprintf("errclass-%d", int(e))
+}

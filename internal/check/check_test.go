@@ -1,0 +1,49 @@
+package check
+
+import (
+	"testing"
+)
+
+// TestCacheInterleavings is the exhaustive cache gate: every schedule
+// of 3 concurrent Gets over 2 keys — each op in turn the faulty build
+// (error and panic), each in turn cancelable, under both a no-evict and
+// an evict-to-one budget — replayed against the real cache with zero
+// spec divergence.
+func TestCacheInterleavings(t *testing.T) {
+	ops := 3
+	if testing.Short() {
+		ops = 2
+	}
+	rep, err := CheckCache(CacheOptions{Ops: ops, Keys: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("cache: %d scenarios, %d schedules, zero divergence", rep.Scenarios, rep.Schedules)
+	if rep.Schedules < rep.Scenarios {
+		t.Fatalf("suspiciously few schedules (%d) for %d scenarios", rep.Schedules, rep.Scenarios)
+	}
+}
+
+// TestLoaderInterleavings is the exhaustive loader gate: every schedule
+// of a stepped main stream, a scripted repair, and ≥3 concurrent demand
+// fetches — each stepped unit in turn the corrupt one, repair both
+// succeeding and failing — replayed against the real loader with zero
+// spec divergence.
+func TestLoaderInterleavings(t *testing.T) {
+	stepped := 4
+	if testing.Short() {
+		stepped = 3
+	}
+	rep, err := CheckLoader(LoaderOptions{Stepped: stepped})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("loader: %d scenarios, %d schedules over a %d-unit stream with %d concurrent demands, zero divergence",
+		rep.Scenarios, rep.Schedules, rep.Units, rep.Demands)
+	if rep.Demands < 3 {
+		t.Fatalf("only %d concurrent demand ops; the gate requires ≥ 3", rep.Demands)
+	}
+	if rep.Schedules < rep.Scenarios {
+		t.Fatalf("suspiciously few schedules (%d) for %d scenarios", rep.Schedules, rep.Scenarios)
+	}
+}

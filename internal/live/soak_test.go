@@ -1,0 +1,68 @@
+package live
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"nonstrict/internal/stream"
+	"nonstrict/internal/vm"
+)
+
+// TestGateSoakSeeded is the availability gate's randomized soak — the
+// internal/live arm of the internal/check stress discipline: seeded
+// fault cocktails (disconnects, corruption, latency) against overlapped
+// runs, asserting the gate invariants the checker pins. Every gate wait
+// must eventually unblock (a context deadline converts a lost wakeup
+// into a failure instead of a hung suite), each recorded wait's
+// Transfer/Repair/Gate decomposition must sum exactly, and the run must
+// be bit-identical to the strict reference. Failures name the seed.
+func TestGateSoakSeeded(t *testing.T) {
+	p := plan(t, "Hanoi")
+	want := reference(t, p)
+	seeds := []int64{1, 2, 3, 4, 5, 6}
+	if testing.Short() {
+		seeds = seeds[:2]
+	}
+	for _, seed := range seeds {
+		fault := stream.Fault{
+			Seed:         uint64(seed),
+			DropEvery:    400 + 300*seed,
+			CorruptEvery: 900 + 500*seed,
+		}
+		if seed%2 == 0 {
+			fault.Latency = time.Duration(seed) * 100 * time.Microsecond
+		}
+		srv := serve(t, p, fault)
+		// The watchdog: a lost wakeup at the gate surfaces as this
+		// deadline, with the seed, not as a hung test binary.
+		ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+		m, st, err := Run(ctx, Options{
+			URL:       srv.URL + "/app",
+			TOCURL:    srv.URL + "/app.toc",
+			Name:      p.app.Name,
+			MainClass: p.rp.MainClass,
+			Client:    fastClient(),
+			Run:       vm.Options{Args: p.app.TestArgs, MaxSteps: 5e8},
+		})
+		cancel()
+		if err != nil {
+			t.Fatalf("seed %d: overlapped run failed (a timeout here is a lost wakeup at the gate): %v", seed, err)
+		}
+		checkRun(t, p, m, want)
+		for _, w := range st.Waits {
+			if w.Transfer+w.Repair+w.Gate != w.Wait {
+				t.Fatalf("seed %d: wait for %v decomposes to %v+%v+%v != %v",
+					seed, w.Method, w.Transfer, w.Repair, w.Gate, w.Wait)
+			}
+		}
+		if st.Integrity.Outstanding != 0 {
+			t.Fatalf("seed %d: run succeeded with %d units still quarantined (stale quarantine)",
+				seed, st.Integrity.Outstanding)
+		}
+		if st.Integrity.CorruptUnits > 0 && st.Integrity.Repaired == 0 && st.Integrity.Quarantined == 0 {
+			t.Fatalf("seed %d: %d corrupt units neither repaired nor quarantined",
+				seed, st.Integrity.CorruptUnits)
+		}
+	}
+}

@@ -71,6 +71,12 @@ type CacheStats struct {
 	Builds int64 `json:"builds"`
 	// Evictions is artifacts dropped to fit the byte budget.
 	Evictions int64 `json:"evictions"`
+	// BuildErrors is builds that returned an error (or panicked) and so
+	// published no artifact. Accounting that expects Builds to equal the
+	// artifact count (the /apps index, the fleet gate) must subtract
+	// these: after a transient build failure Builds advances but the
+	// resident set does not.
+	BuildErrors int64 `json:"build_errors"`
 	// BuildSeconds is wall-clock seconds spent inside the build pipeline.
 	BuildSeconds float64 `json:"build_seconds"`
 	// Bytes and Entries describe the resident set.
@@ -87,6 +93,14 @@ type Cache struct {
 	budget int64
 	build  func(ctx context.Context, k Key) (*Artifact, error)
 
+	// WaitHook, when non-nil, runs in a waiter's goroutine after it has
+	// found an in-flight build and counted its miss, immediately before
+	// it parks on the flight. It exists for the deterministic
+	// interleaving checker (internal/check) and for tests that must know
+	// a waiter is committed before scheduling the next event; production
+	// servers leave it nil. Set it before the cache sees traffic.
+	WaitHook func(Key)
+
 	mu       sync.Mutex
 	entries  map[Key]*list.Element
 	lru      *list.List // front = most recently used
@@ -94,6 +108,7 @@ type Cache struct {
 	inflight map[Key]*flight
 
 	hits, misses, builds, evictions atomic.Int64
+	buildErrors                     atomic.Int64
 	buildNanos                      atomic.Int64
 }
 
@@ -141,6 +156,9 @@ func (c *Cache) Get(ctx context.Context, k Key) (art *Artifact, hit bool, err er
 	if f, ok := c.inflight[k]; ok {
 		c.mu.Unlock()
 		c.misses.Add(1)
+		if c.WaitHook != nil {
+			c.WaitHook(k)
+		}
 		select {
 		case <-f.done:
 			return f.art, false, f.err
@@ -152,25 +170,43 @@ func (c *Cache) Get(ctx context.Context, k Key) (art *Artifact, hit bool, err er
 	c.inflight[k] = f
 	c.mu.Unlock()
 	c.misses.Add(1)
+	c.runBuild(k, f)
+	return f.art, false, f.err
+}
 
+// runBuild executes the build pipeline for k and publishes the outcome
+// into f. The cleanup is deferred so it runs even when the build
+// function panics: the panic becomes an ordinary build error, the
+// flight is removed, and f.done is closed, so waiters fail fast. A
+// non-deferred epilogue here once leaked the inflight entry on panic
+// and left f.done open forever — every later request for the key then
+// parked on a flight nothing would ever finish.
+func (c *Cache) runBuild(k Key, f *flight) {
 	start := time.Now()
+	defer func() {
+		if r := recover(); r != nil {
+			f.art, f.err = nil, fmt.Errorf("server: building %s: build panicked: %v", k, r)
+		}
+		c.builds.Add(1)
+		c.buildNanos.Add(int64(time.Since(start)))
+		if f.err != nil {
+			c.buildErrors.Add(1)
+		}
+		c.mu.Lock()
+		delete(c.inflight, k)
+		if f.err == nil {
+			c.insertLocked(k, f.art)
+		}
+		c.mu.Unlock()
+		close(f.done)
+	}()
 	// context.Background(), deliberately: the artifact outlives the
 	// request that happened to arrive first.
-	f.art, f.err = c.build(context.Background(), k)
-	c.builds.Add(1)
-	c.buildNanos.Add(int64(time.Since(start)))
-	if f.err != nil {
-		f.err = fmt.Errorf("server: building %s: %w", k, f.err)
+	art, err := c.build(context.Background(), k)
+	if err != nil {
+		err = fmt.Errorf("server: building %s: %w", k, err)
 	}
-
-	c.mu.Lock()
-	delete(c.inflight, k)
-	if f.err == nil {
-		c.insertLocked(k, f.art)
-	}
-	c.mu.Unlock()
-	close(f.done)
-	return f.art, false, f.err
+	f.art, f.err = art, err
 }
 
 // Peek returns the resident artifact for k without building, waiting, or
@@ -218,6 +254,7 @@ func (c *Cache) Stats() CacheStats {
 		Misses:       c.misses.Load(),
 		Builds:       c.builds.Load(),
 		Evictions:    c.evictions.Load(),
+		BuildErrors:  c.buildErrors.Load(),
 		BuildSeconds: time.Duration(c.buildNanos.Load()).Seconds(),
 		Bytes:        bytes,
 		Entries:      entries,

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -174,6 +175,197 @@ func TestCacheWaiterCancellation(t *testing.T) {
 			t.Fatal("build never landed after waiter cancellation")
 		}
 		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestCachePanickingBuildReleasesWaiters is the singleflight-hang
+// regression test. Before the deferred-cleanup fix a panicking build
+// escaped Get with the inflight entry still registered and f.done never
+// closed, so the *next* request for the key parked forever on a flight
+// nothing would ever finish — this test then fails via its watchdog
+// timeout. After the fix the panic is converted to a build error, the
+// flight is removed, and a retry rebuilds cleanly.
+func TestCachePanickingBuildReleasesWaiters(t *testing.T) {
+	var builds atomic.Int64
+	c := NewCache(0, func(ctx context.Context, k Key) (*Artifact, error) {
+		if builds.Add(1) == 1 {
+			panic("injected build panic")
+		}
+		return stubArtifact(k, 10), nil
+	})
+	k := Key{App: "A", Order: "scg"}
+
+	// First call: the build panics. Post-fix, Get returns an error naming
+	// the panic; pre-fix, the panic escapes Get and would kill the test
+	// process were it not recovered here.
+	firstDone := make(chan error, 1)
+	go func() {
+		defer func() {
+			if r := recover(); r != nil {
+				firstDone <- fmt.Errorf("panic escaped Get: %v", r)
+			}
+		}()
+		_, _, err := c.Get(context.Background(), k)
+		firstDone <- err
+	}()
+	select {
+	case err := <-firstDone:
+		if err == nil {
+			t.Fatal("panicking build reported no error")
+		}
+		t.Logf("first Get: %v", err)
+	case <-time.After(5 * time.Second):
+		t.Fatal("first Get never returned")
+	}
+
+	// Second call for the same key: pre-fix this hangs forever on the
+	// leaked flight; post-fix it simply rebuilds.
+	secondDone := make(chan error, 1)
+	go func() {
+		_, _, err := c.Get(context.Background(), k)
+		secondDone <- err
+	}()
+	select {
+	case err := <-secondDone:
+		if err != nil {
+			t.Fatalf("retry after panicking build: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("second Get hung: the panicking build leaked its inflight entry")
+	}
+	st := c.Stats()
+	if st.Builds != 2 || st.BuildErrors != 1 {
+		t.Errorf("stats = %+v, want 2 builds and 1 build error", st)
+	}
+	if c.Peek(k) == nil {
+		t.Error("artifact not resident after the retry")
+	}
+}
+
+// TestCachePanickingBuildFailsWaitersFast: callers already parked on the
+// flight when the build panics get the panic-as-error immediately — no
+// lost wakeup.
+func TestCachePanickingBuildFailsWaitersFast(t *testing.T) {
+	release := make(chan struct{})
+	c := NewCache(0, func(ctx context.Context, k Key) (*Artifact, error) {
+		<-release
+		panic("injected build panic")
+	})
+	waiting := make(chan Key, 1)
+	c.WaitHook = func(k Key) { waiting <- k }
+	k := Key{App: "A", Order: "scg"}
+
+	builderDone := make(chan error, 1)
+	go func() {
+		_, _, err := c.Get(context.Background(), k)
+		builderDone <- err
+	}()
+	waiterDone := make(chan error, 1)
+	go func() {
+		_, _, err := c.Get(context.Background(), k)
+		waiterDone <- err
+	}()
+	<-waiting // the waiter is committed to the flight
+	close(release)
+	for name, ch := range map[string]chan error{"builder": builderDone, "waiter": waiterDone} {
+		select {
+		case err := <-ch:
+			if err == nil || !strings.Contains(err.Error(), "panicked") {
+				t.Errorf("%s got %v, want a build-panicked error", name, err)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatalf("%s never unblocked after the build panicked", name)
+		}
+	}
+}
+
+// TestCacheWaiterCancelThenRetry: a waiter cancels during an in-flight
+// build, the build lands anyway, and re-requesting the key serves the
+// artifact with exactly one build ever run.
+func TestCacheWaiterCancelThenRetry(t *testing.T) {
+	var builds atomic.Int64
+	started := make(chan struct{}, 1)
+	release := make(chan struct{})
+	c := NewCache(0, func(ctx context.Context, k Key) (*Artifact, error) {
+		builds.Add(1)
+		started <- struct{}{}
+		<-release
+		return stubArtifact(k, 10), nil
+	})
+	waiting := make(chan Key, 1)
+	c.WaitHook = func(k Key) { waiting <- k }
+	k := Key{App: "A", Order: "scg"}
+
+	builderArt := make(chan *Artifact, 1)
+	go func() {
+		art, _, err := c.Get(context.Background(), k)
+		if err != nil {
+			t.Error(err)
+		}
+		builderArt <- art
+	}()
+	<-started // the builder owns the flight
+
+	ctx, cancel := context.WithCancel(context.Background())
+	waiterErr := make(chan error, 1)
+	go func() {
+		_, _, err := c.Get(ctx, k)
+		waiterErr <- err
+	}()
+	<-waiting // the waiter is parked on the flight
+	cancel()
+	if err := <-waiterErr; !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled waiter got %v, want context.Canceled", err)
+	}
+
+	close(release)
+	art := <-builderArt
+	if art == nil {
+		t.Fatal("builder got no artifact")
+	}
+
+	// The canceled client retries: a pure hit on the landed build.
+	again, hit, err := c.Get(context.Background(), k)
+	if err != nil || !hit {
+		t.Fatalf("retry: hit=%v err=%v, want a hit", hit, err)
+	}
+	if again != art {
+		t.Error("retry served a different artifact than the shared build")
+	}
+	if got := builds.Load(); got != 1 {
+		t.Fatalf("builds = %d, want exactly 1", got)
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 2 || st.Builds != 1 || st.BuildErrors != 0 {
+		t.Errorf("stats = %+v, want 1 hit / 2 misses / 1 build / 0 build errors", st)
+	}
+}
+
+// TestCacheBuildErrorsCounter: failed builds advance BuildErrors so
+// accounting that equates Builds with resident artifacts can correct for
+// transient failures.
+func TestCacheBuildErrorsCounter(t *testing.T) {
+	fail := atomic.Bool{}
+	fail.Store(true)
+	c := NewCache(0, func(ctx context.Context, k Key) (*Artifact, error) {
+		if fail.Load() {
+			return nil, errors.New("transient")
+		}
+		return stubArtifact(k, 10), nil
+	})
+	k := Key{App: "A", Order: "scg"}
+	if _, _, err := c.Get(context.Background(), k); err == nil {
+		t.Fatal("failed build reported no error")
+	}
+	if st := c.Stats(); st.Builds != 1 || st.BuildErrors != 1 {
+		t.Fatalf("after failure: stats = %+v, want builds=1 build_errors=1", st)
+	}
+	fail.Store(false)
+	if _, _, err := c.Get(context.Background(), k); err != nil {
+		t.Fatal(err)
+	}
+	if st := c.Stats(); st.Builds != 2 || st.BuildErrors != 1 {
+		t.Errorf("after retry: stats = %+v, want builds=2 build_errors=1", st)
 	}
 }
 

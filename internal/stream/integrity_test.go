@@ -186,6 +186,68 @@ func TestDemandHealsQuarantine(t *testing.T) {
 	}
 }
 
+// TestDemandDuringFailedRepairLeavesNoStaleQuarantine pins the
+// demand-races-repair interleaving: while a corrupt unit's repair
+// attempts are failing, the demand path delivers a clean copy of the
+// same unit (the live runtime does exactly this when the gate's
+// out-of-order fetch wins the race). The quarantine that follows must
+// notice the unit is already installed and record nothing — a stale
+// entry here is unhealable (FeedDemand skips present units) and would
+// pin Integrity().Outstanding above zero forever; for a global unit it
+// would also shadow-quarantine every later clean body of the class.
+func TestDemandDuringFailedRepairLeavesNoStaleQuarantine(t *testing.T) {
+	app, rp, _, w := plan(t, "Hanoi")
+	var buf bytes.Buffer
+	if _, err := w.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+	toc := w.TOC()
+
+	for i, name := range map[int]string{0: "global", 1: "body"} {
+		t.Run(name, func(t *testing.T) {
+			mut := corruptUnit(t, good, i)
+			l := NewLoader(rp.Name, rp.MainClass, nil)
+			l.RepairAttempts = 1
+			l.Repair = func(req RepairRequest) ([]byte, error) {
+				// The demand fetch lands a clean copy mid-repair…
+				u := toc[i]
+				payload := good[u.Off : u.Off+int64(u.Len)]
+				if _, err := l.FeedDemand(u.Class, u.Kind, u.Body, payload, u.CRC); err != nil {
+					t.Errorf("demand during repair: %v", err)
+				}
+				// …and the repair itself still fails.
+				return []byte("garbage"), nil
+			}
+			if err := l.Load(bytes.NewReader(mut), nil); err != nil {
+				t.Fatal(err)
+			}
+			st := l.Integrity()
+			if st.CorruptUnits != 1 || st.RepairAttempts != 1 {
+				t.Errorf("counters = %+v, want 1 corrupt / 1 attempt", st)
+			}
+			if st.Quarantined != 0 || st.Outstanding != 0 {
+				t.Errorf("stale quarantine left behind: %+v (list %+v)", st, l.Quarantined())
+			}
+			got, err := l.Program()
+			if err != nil {
+				t.Fatal(err)
+			}
+			ln, err := vm.Link(got)
+			if err != nil {
+				t.Fatal(err)
+			}
+			m, err := ln.Run(vm.Options{Args: app.TestArgs, MaxSteps: 1e8})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := app.Check(m, false); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
 // unitIndex finds q's entry in the unit table.
 func unitIndex(t *testing.T, toc []UnitInfo, q QuarantinedUnit) int {
 	t.Helper()

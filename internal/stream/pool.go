@@ -37,6 +37,11 @@ func getPayloadBuf(n int) []byte {
 		if cap(b) >= n {
 			return b[:n]
 		}
+		// Too small for this unit but still fine for smaller ones: put
+		// it back. Dropping it here silently drains the pool whenever
+		// unit sizes are mixed — every large unit costs one pooled small
+		// buffer and the steady state degenerates to make-per-unit.
+		payloadPool.Put(v)
 	}
 	return make([]byte, n)
 }

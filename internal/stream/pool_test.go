@@ -3,6 +3,7 @@ package stream
 import (
 	"bytes"
 	"io"
+	"runtime/debug"
 	"testing"
 	"time"
 )
@@ -50,6 +51,44 @@ func TestPayloadPoolRoundTrip(t *testing.T) {
 	if len(d) != 10 {
 		t.Fatalf("len = %d, want 10", len(d))
 	}
+}
+
+// TestPayloadPoolKeepsUndersizedBuffer is the mixed-unit-size regression
+// test: a pooled buffer too small for the current request must go back
+// to the pool, not be dropped. Before the fix every large unit silently
+// consumed one pooled small buffer, so a stream alternating small and
+// large units degenerated to an allocation per unit.
+func TestPayloadPoolKeepsUndersizedBuffer(t *testing.T) {
+	// A GC between Put and Get may legitimately clear the pool; disable
+	// it so the identity check below is deterministic.
+	defer debug.SetGCPercent(debug.SetGCPercent(-1))
+	// Drain anything earlier tests left behind so the only pooled buffer
+	// is the one this test plants.
+	for payloadPool.Get() != nil {
+	}
+	// Under -race, sync.Pool randomly drops a fraction of Puts, so no
+	// single attempt can assert reuse. One observed reuse proves the fix
+	// (the pre-fix code frees the planted buffer on every attempt, so it
+	// can never pass); the attempt bound makes a missing Put fail with
+	// overwhelming probability.
+	for attempt := 0; attempt < 100; attempt++ {
+		small := getPayloadBuf(64)
+		putPayloadBuf(small)
+		// A request the pooled buffer cannot satisfy: it must go back to
+		// the pool, and the request be served by a fresh allocation.
+		big := getPayloadBuf(maxPooledBuf)
+		if len(big) != maxPooledBuf {
+			t.Fatalf("len = %d, want %d", len(big), maxPooledBuf)
+		}
+		again := getPayloadBuf(64)
+		if len(again) != 64 {
+			t.Fatalf("len = %d, want 64", len(again))
+		}
+		if &again[0] == &small[0] {
+			return // the undersized buffer survived the larger request
+		}
+	}
+	t.Fatal("undersized pooled buffer was dropped by the larger request instead of returned to the pool")
 }
 
 // BenchmarkDiscardN measures the pooled skip path; run with -benchmem to

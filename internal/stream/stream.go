@@ -496,16 +496,37 @@ func (l *Loader) quarantine(ci int, kind byte, n int, crc uint32) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	body := -1
+	installed := false
 	if kind == KindBody {
 		body = l.mainNext[ci]
 		l.mainNext[ci] = body + 1
+		installed = body < len(l.present[ci]) && l.present[ci][body]
 	} else {
+		_, installed = l.classes[ci]
+	}
+	l.consumed += headerSize + int64(n)
+	l.mainUnits++
+	if installed {
+		// A clean demand copy landed while this unit's repair attempts
+		// were failing, so there is nothing left to heal: the cursor has
+		// advanced past the corrupt copy and the unit is installed.
+		// Recording a quarantine here would leave a permanently stale
+		// entry — FeedDemand skips already-present units, so nothing
+		// would ever clear it — pinning Outstanding above zero and, for a
+		// global unit, shadow-quarantining every later clean body of the
+		// class.
+		if kind == KindGlobal {
+			// The main stream's only copy of this global is spent; the
+			// usual duplicate-global redelivery cannot happen.
+			delete(l.fromDemand, ci)
+		}
+		return
+	}
+	if kind != KindBody {
 		l.quarGlobal[ci] = true
 	}
 	l.quarantined[quarKey{ci, kind, body}] = QuarantinedUnit{Class: ci, Kind: kind, Body: body, Len: n, CRC: crc}
 	l.integ.Quarantined++
-	l.consumed += headerSize + int64(n)
-	l.mainUnits++
 	l.Obs.Emit(obs.Quarantined, fmt.Sprintf("class %d %s", ci, kindName(kind)), int64(n), 0)
 }
 

@@ -1,0 +1,151 @@
+package vm
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"nonstrict/internal/classfile"
+	"nonstrict/internal/jir"
+)
+
+// testGate is a minimal vm.Gate over closed-channel readiness marks,
+// with every wait watchdog-bounded so a lost wakeup fails the test
+// instead of hanging it.
+type testGate struct {
+	mu      sync.Mutex
+	classes map[string]chan struct{}
+	methods map[classfile.Ref]chan struct{}
+}
+
+func newTestGate() *testGate {
+	return &testGate{
+		classes: make(map[string]chan struct{}),
+		methods: make(map[classfile.Ref]chan struct{}),
+	}
+}
+
+func (g *testGate) classCh(name string) chan struct{} {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	ch, ok := g.classes[name]
+	if !ok {
+		ch = make(chan struct{})
+		g.classes[name] = ch
+	}
+	return ch
+}
+
+func (g *testGate) methodCh(ref classfile.Ref) chan struct{} {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	ch, ok := g.methods[ref]
+	if !ok {
+		ch = make(chan struct{})
+		g.methods[ref] = ch
+	}
+	return ch
+}
+
+// markClass makes a class and all its methods pass the gate.
+func (g *testGate) markClass(c *classfile.Class) {
+	close(g.classCh(c.Name))
+	for _, m := range c.Methods {
+		close(g.methodCh(classfile.Ref{Class: c.Name, Name: c.MethodName(m)}))
+	}
+}
+
+func (g *testGate) AwaitClass(name string) error {
+	select {
+	case <-g.classCh(name):
+		return nil
+	case <-time.After(10 * time.Second):
+		return fmt.Errorf("gate wait for class %s never unblocked", name)
+	}
+}
+
+func (g *testGate) AwaitMethod(ref classfile.Ref) error {
+	select {
+	case <-g.methodCh(ref):
+		return nil
+	case <-time.After(10 * time.Second):
+		return fmt.Errorf("gate wait for method %v never unblocked", ref)
+	}
+}
+
+// TestLiveLinkedConcurrentAddClass is the -race test of LiveLinked's
+// shared state in isolation (internal/live covers the full stack): a
+// feeder goroutine trickles classes in through AddClass while the
+// machine executes and stat readers hammer Classes/Methods. The run
+// must match the strict linker's instruction count exactly, and the
+// stat counters must only ever move forward.
+func TestLiveLinkedConcurrentAddClass(t *testing.T) {
+	cp, err := jir.Compile(chainProgram())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := compile(t, chainProgram())
+	wm, err := want.Run(Options{MaxSteps: 1e7})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for round := 0; round < 20; round++ {
+		gate := newTestGate()
+		lv := NewLive(cp.Name, cp.MainClass, gate)
+
+		stop := make(chan struct{})
+		var readers sync.WaitGroup
+		for r := 0; r < 4; r++ {
+			readers.Add(1)
+			go func() {
+				defer readers.Done()
+				lastC, lastM := 0, 0
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					c, m := lv.Classes(), lv.Methods()
+					if c < lastC || m < lastM {
+						t.Errorf("stats went backwards: classes %d→%d, methods %d→%d", lastC, c, lastM, m)
+						return
+					}
+					lastC, lastM = c, m
+				}
+			}()
+		}
+
+		go func() {
+			for _, c := range cp.Classes {
+				if err := lv.AddClass(c); err != nil {
+					t.Errorf("AddClass(%s): %v", c.Name, err)
+					return
+				}
+				// Idempotence under the same race: a demand-fetched
+				// duplicate global unit re-adds the class.
+				if err := lv.AddClass(c); err != nil {
+					t.Errorf("duplicate AddClass(%s): %v", c.Name, err)
+					return
+				}
+				gate.markClass(c)
+				time.Sleep(time.Duration(round%3) * 50 * time.Microsecond)
+			}
+		}()
+
+		m, err := lv.Run(Options{MaxSteps: 1e7})
+		close(stop)
+		readers.Wait()
+		if err != nil {
+			t.Fatalf("round %d: live run failed: %v", round, err)
+		}
+		if m.Steps() != wm.Steps() {
+			t.Fatalf("round %d: live run executed %d instructions, strict run %d", round, m.Steps(), wm.Steps())
+		}
+		if lv.Classes() != len(cp.Classes) {
+			t.Fatalf("round %d: %d classes registered, fed %d", round, lv.Classes(), len(cp.Classes))
+		}
+	}
+}
