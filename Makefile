@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race lint bench-smoke bench-serve live-smoke chaos trace-smoke fleet-smoke check-smoke ci clean
+.PHONY: all build test race lint bench-smoke bench-serve live-smoke chaos trace-smoke fleet-smoke check-smoke restart-smoke ci clean
 
 all: build
 
@@ -73,15 +73,30 @@ fleet-smoke:
 # The concurrency-soundness gate, under -race: the internal/check
 # interleaving enumerators replay every schedule of the scripted cache
 # and loader scenarios against the executable specs (zero divergence
-# required), then a few fixed-seed randomized stress rounds assert the
-# pinned invariants (DESIGN.md §7). The nightly runs the long
-# time-seeded soak; `nonstrict check` runs the same machinery from the
-# CLI.
+# required), enumerate a crash at every step of the disk store's write
+# protocol and every bounded breaker op sequence, then a few fixed-seed
+# randomized stress rounds assert the pinned invariants (DESIGN.md §7).
+# The nightly runs the long time-seeded soak; `nonstrict check` runs
+# the same machinery from the CLI.
 check-smoke:
-	$(GO) test -race -run 'TestCacheInterleavings|TestLoaderInterleavings|TestStressShort' \
+	$(GO) test -race -run 'TestCacheInterleavings|TestLoaderInterleavings|TestStoreCrashInterleavings|TestBreakerInterleavings|TestStressShort' \
 		-v ./internal/check
 
-ci: build lint test race bench-smoke bench-serve live-smoke chaos trace-smoke fleet-smoke check-smoke
+# The crash-safety gate, under -race: kill the server mid-stream at
+# seeded offsets and restart it over the same artifact store (clients
+# must resume via verified If-Range requests into byte-identical
+# streams with zero rebuilds); the disk store's crash-step and
+# corruption-quarantine tests; overload admission, priority bypass, and
+# circuit-breaker behaviour; graceful-drain lifecycle; the fetch
+# client's splice-refusal and Retry-After regressions; and the
+# fleet-scale restart scenario.
+restart-smoke:
+	$(GO) test -race -run 'TestRestart|TestDiskStore|TestCacheStore|TestAdmission|TestPriorityBypassesQueueBound|TestBreaker|TestDrainLifecycle|TestFleetRestart' \
+		-v ./internal/server ./internal/fleet
+	$(GO) test -race -run 'TestFetchRefusesSpliceAfterSwap|TestFetchAdoptsSwapBeforeFirstByte|TestFetchRangeVerifiedSurvivesSwap|TestFetchHonorsRetryAfter' \
+		-v ./internal/stream
+
+ci: build lint test race bench-smoke bench-serve live-smoke chaos trace-smoke fleet-smoke check-smoke restart-smoke
 
 clean:
 	$(GO) clean ./...

@@ -32,6 +32,11 @@ func cmdServe(ctx context.Context, args []string, out io.Writer) error {
 	rate := fs.Int("rate", 0, "throttle to N bytes/second (0 = unthrottled)")
 	order := fs.String("order", server.OrderStatic, "restructuring policy: scg, train, test")
 	cacheBytes := fs.Int64("cache-bytes", 0, "artifact cache byte budget (0 = 64 MiB)")
+	storeDir := fs.String("store-dir", "", "persistent artifact store directory (empty = memory only; restarts rebuild)")
+	drainTimeout := fs.Duration("drain-timeout", 5*time.Second, "how long to let in-flight streams finish on shutdown before cutting them")
+	admit := fs.Bool("admit", false, "enable build admission control (bounded queue, load shedding, circuit breaker)")
+	maxBuilds := fs.Int("max-builds", 0, "concurrent build limit when -admit (0 = 2)")
+	maxQueue := fs.Int("max-queue", 0, "queued-build limit when -admit (0 = 64, negative = unbounded)")
 	dropEvery := fs.Int64("drop-every", 0, "drop the connection after every N body bytes (0 = never)")
 	latency := fs.Duration("latency", 0, "added latency before each body write")
 	corruptEvery := fs.Int64("corrupt-every", 0, "flip a seeded bit in every Nth body byte (0 = never)")
@@ -42,7 +47,7 @@ func cmdServe(ctx context.Context, args []string, out io.Writer) error {
 	flakyTOC := fs.Int("flaky-toc", 0, "fail the first N unit-table requests with a 503 (0 = never)")
 	seed := fs.Uint64("seed", 0, "seed for corruption masks and garbage bytes (0 = fixed default)")
 	if len(args) == 0 || strings.HasPrefix(args[0], "-") {
-		return fmt.Errorf("serve: usage: nonstrict serve <name> [-addr host:port] [-rate N] [-order P] [-cache-bytes N] [-drop-every N] [-latency D] [-corrupt-every N] [-stall-after N] [-stall-for D] [-truncate-after N] [-garbage-range-every N] [-flaky-toc N] [-seed N]")
+		return fmt.Errorf("serve: usage: nonstrict serve <name> [-addr host:port] [-rate N] [-order P] [-cache-bytes N] [-store-dir DIR] [-drain-timeout D] [-admit] [-max-builds N] [-max-queue N] [-drop-every N] [-latency D] [-corrupt-every N] [-stall-after N] [-stall-for D] [-truncate-after N] [-garbage-range-every N] [-flaky-toc N] [-seed N]")
 	}
 	name := args[0]
 	if err := fs.Parse(args[1:]); err != nil {
@@ -69,6 +74,12 @@ func cmdServe(ctx context.Context, args []string, out io.Writer) error {
 		CacheBytes: *cacheBytes,
 		Rate:       *rate,
 		Fault:      fault,
+		StoreDir:   *storeDir,
+		Admit: server.AdmitConfig{
+			Enabled:   *admit,
+			MaxBuilds: *maxBuilds,
+			MaxQueue:  *maxQueue,
+		},
 	})
 	if err != nil {
 		return err
@@ -79,6 +90,9 @@ func cmdServe(ctx context.Context, args []string, out io.Writer) error {
 	}
 	hs := &http.Server{Handler: srv.Handler()}
 	fmt.Fprintf(out, "serving %s (%d stream bytes) at http://%s/app\n", name, size, ln.Addr())
+	if *storeDir != "" {
+		fmt.Fprintf(out, "artifact store at %s (restarts serve without rebuilding)\n", *storeDir)
+	}
 	fmt.Fprintf(out, "apps: %s at http://%s/apps/{name}/app (+ .toc; index at /apps; order=%s)\n",
 		strings.Join(srv.Apps(), " "), ln.Addr(), srv.Order())
 	fmt.Fprintf(out, "metrics at http://%s/metrics (expvar at /debug/vars)\n", ln.Addr())
@@ -93,9 +107,27 @@ func cmdServe(ctx context.Context, args []string, out io.Writer) error {
 	case err := <-errc:
 		return err
 	case <-ctx.Done():
-		sctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		// Graceful drain: stop admitting work (readyz fails, new builds
+		// shed), persist the store manifest while streams finish, then
+		// give in-flight responses -drain-timeout to complete.
+		// hs.Shutdown already closes the listener before waiting, so no
+		// new connection lands after this line.
+		srv.BeginDrain()
+		if err := srv.PersistManifest(); err != nil {
+			fmt.Fprintf(out, "drain: manifest write failed: %v\n", err)
+		}
+		sctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 		defer cancel()
-		hs.Shutdown(sctx)
+		serr := hs.Shutdown(sctx)
+		cut := int64(0)
+		if serr != nil {
+			// Deadline expired with streams still open: report how many
+			// we are about to cut, then cut them.
+			cut = srv.ActiveStreams()
+			hs.Close()
+		}
+		fmt.Fprintf(out, "drained in ≤%v: %d streams cut, %d total requests served\n",
+			*drainTimeout, cut, srv.Requests())
 		return ctx.Err()
 	}
 }

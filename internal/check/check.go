@@ -27,7 +27,16 @@
 //     retains a slice of it (installed bytes stay immutable);
 //   - loader events are exactly-once per unit however the main stream,
 //     demand fetches, and repair replies interleave, and a healed or
-//     demand-covered unit never leaves a stale quarantine entry.
+//     demand-covered unit never leaves a stale quarantine entry;
+//   - the disk store's Put is atomic at every crash point: a process
+//     death before the rename leaves the previous generation (or a
+//     clean miss) byte-intact, a death at or after it leaves the new
+//     artifact byte-intact, and no crash ever yields a torn read, a
+//     quarantined entry, or a surviving temp file (CheckStoreCrashes);
+//   - the build circuit breaker follows its documented transition
+//     graph with a monotone trip counter and at most one half-open
+//     probe, enumerated against a pure spec over every bounded op
+//     sequence with a fake clock (CheckBreaker).
 //
 // Alongside the exhaustive small-schedule walk, RunStress drives the
 // same objects with seeded randomized schedules (run under -race, env-

@@ -24,6 +24,42 @@ func TestCacheInterleavings(t *testing.T) {
 	}
 }
 
+// TestStoreCrashInterleavings is the store durability gate: a simulated
+// process death at every step of DiskStore.Put's write protocol, over
+// both a fresh key and an overwrite, must leave the reopened directory
+// exactly at the old or new generation — never torn, never quarantined,
+// never with a live temp file — and a retry must recover.
+func TestStoreCrashInterleavings(t *testing.T) {
+	rep, err := CheckStoreCrashes(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("store: %d crash points over %d scenarios, zero divergence", rep.Crashes, rep.Scenarios)
+	if rep.Crashes < 2*len(putSteps) {
+		t.Fatalf("only %d crash points; the gate requires every Put step in both scenarios", rep.Crashes)
+	}
+}
+
+// TestBreakerInterleavings is the circuit-breaker gate: every bounded
+// sequence of allow/fail/success/cancel/clock ops replayed against the
+// real breaker (fake clock) and a pure spec, asserting matched shed
+// decisions, the documented transition graph, and a monotone trip
+// counter.
+func TestBreakerInterleavings(t *testing.T) {
+	depth := 7
+	if testing.Short() {
+		depth = 5
+	}
+	rep, err := CheckBreaker(BreakerCheckOptions{Depth: depth})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("breaker: %d sequences, %d steps, zero divergence", rep.Sequences, rep.Steps)
+	if rep.Steps < rep.Sequences {
+		t.Fatalf("suspiciously few steps (%d) for %d sequences", rep.Steps, rep.Sequences)
+	}
+}
+
 // TestLoaderInterleavings is the exhaustive loader gate: every schedule
 // of a stepped main stream, a scripted repair, and ≥3 concurrent demand
 // fetches — each stepped unit in turn the corrupt one, repair both

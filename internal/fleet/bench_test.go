@@ -41,6 +41,10 @@ func TestBenchFleetSmoke(t *testing.T) {
 		Duration:  400 * time.Millisecond,
 		TimeScale: 2000,
 		ThinkMean: time.Millisecond,
+		// The crash-restart scenario rides the benchmark fleet: halfway
+		// through, the server dies and a fresh incarnation resumes every
+		// surviving client from the persistent store.
+		Restart: RestartConfig{Enabled: true, AfterFraction: 0.5, StoreDir: t.TempDir()},
 	}
 	start := time.Now()
 	rep, err := Run(context.Background(), cfg)
@@ -59,8 +63,18 @@ func TestBenchFleetSmoke(t *testing.T) {
 			t.Errorf("link %s: mispredict rate %v outside [0,1]", l.Link, l.MispredictRate)
 		}
 	}
-	if rep.Cache.Builds != int64(len(names)) {
-		t.Errorf("%d builds for %d apps; clients leaked into the build path", rep.Cache.Builds, len(names))
+	rr := rep.Restart
+	if rr == nil {
+		t.Fatal("no restart block in the fleet report")
+	}
+	if rr.PreBuilds != int64(len(names)) {
+		t.Errorf("%d builds for %d apps; clients leaked into the build path", rr.PreBuilds, len(names))
+	}
+	if rr.PostBuilds != 0 {
+		t.Errorf("restarted server rebuilt %d artifacts; the store should have served them all", rr.PostBuilds)
+	}
+	if rr.SuccessRate != 1 {
+		t.Errorf("client success rate across restart = %v, want 1", rr.SuccessRate)
 	}
 	if t.Failed() {
 		t.FailNow()
@@ -89,6 +103,8 @@ func TestBenchFleetSmoke(t *testing.T) {
 			l.Link, l.FirstInvocationMs.P50, l.FirstInvocationMs.P99, l.FirstInvocationMs.P999,
 			100*l.MispredictRate, l.MeanOverlap)
 	}
+	t.Logf("restart: killed %d conns at %.0fms; post-restart builds %d, store hits %d, success rate %.3f, p99 first-invocation %.2fms",
+		rr.ConnsKilled, rr.KillAtMs, rr.PostBuilds, rr.PostStoreHits, rr.SuccessRate, rr.P99FirstInvocationMs)
 	t.Logf("wrote %s: %d clients over %d apps in %v", path, cfg.Clients, len(names), time.Since(start).Round(time.Millisecond))
 }
 

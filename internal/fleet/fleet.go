@@ -25,7 +25,9 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"os"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"nonstrict/internal/apps"
@@ -77,6 +79,23 @@ type Config struct {
 	// Fault is injected server-side chaos, applied on top of the link
 	// schedules (zero = none).
 	Fault stream.Fault
+	// Restart is the crash-restart scenario: once a fraction of clients
+	// has finished, the server process "dies" (every live connection is
+	// severed) and a fresh server boots over the same persistent store,
+	// so the surviving clients must resume against it (zero = none).
+	Restart RestartConfig
+}
+
+// RestartConfig configures the mid-run server crash-restart.
+type RestartConfig struct {
+	// Enabled turns the scenario on.
+	Enabled bool
+	// AfterFraction fires the crash once this fraction of clients has
+	// completed (default 0.5), guaranteeing the rest are mid-session.
+	AfterFraction float64
+	// StoreDir is the persistent artifact store shared by both server
+	// incarnations. Empty = a private temp dir, removed after the run.
+	StoreDir string
 }
 
 func (c Config) withDefaults() Config {
@@ -103,6 +122,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.GateTimeout == 0 {
 		c.GateTimeout = 30 * time.Second
+	}
+	if c.Restart.Enabled && c.Restart.AfterFraction <= 0 {
+		c.Restart.AfterFraction = 0.5
 	}
 	return c
 }
@@ -150,10 +172,51 @@ type memListener struct {
 	conns  chan net.Conn
 	closed chan struct{}
 	once   sync.Once
+
+	// live tracks the server-side pipe ends so the restart scenario can
+	// sever every in-flight connection at the crash instant.
+	liveMu sync.Mutex
+	live   map[net.Conn]struct{}
 }
 
 func newMemListener() *memListener {
-	return &memListener{conns: make(chan net.Conn), closed: make(chan struct{})}
+	return &memListener{
+		conns:  make(chan net.Conn),
+		closed: make(chan struct{}),
+		live:   make(map[net.Conn]struct{}),
+	}
+}
+
+// killConns abruptly closes every live server-side connection — the
+// fleet's simulated process death — and reports how many were cut.
+func (l *memListener) killConns() int {
+	l.liveMu.Lock()
+	n := len(l.live)
+	for c := range l.live {
+		c.Close()
+	}
+	l.live = make(map[net.Conn]struct{})
+	l.liveMu.Unlock()
+	return n
+}
+
+func (l *memListener) forget(c net.Conn) {
+	l.liveMu.Lock()
+	delete(l.live, c)
+	l.liveMu.Unlock()
+}
+
+// trackedPipe is the server end of one client connection, deregistering
+// itself when the server closes it normally.
+type trackedPipe struct {
+	net.Conn
+	l    *memListener
+	once sync.Once
+}
+
+func (c *trackedPipe) Close() error {
+	c.once.Do(func() { c.l.forget(c.Conn) })
+	return c.Conn.Close()
 }
 
 func (l *memListener) Accept() (net.Conn, error) {
@@ -175,13 +238,18 @@ func (l *memListener) Addr() net.Addr { return memAddr{} }
 // dial hands the server one pipe end and returns the other.
 func (l *memListener) dial(ctx context.Context) (net.Conn, error) {
 	client, srv := net.Pipe()
+	l.liveMu.Lock()
+	l.live[srv] = struct{}{}
+	l.liveMu.Unlock()
 	select {
-	case l.conns <- srv:
+	case l.conns <- &trackedPipe{Conn: srv, l: l}:
 		return client, nil
 	case <-l.closed:
+		l.forget(srv)
 		client.Close()
 		return nil, errors.New("fleet: listener closed")
 	case <-ctx.Done():
+		l.forget(srv)
 		client.Close()
 		return nil, ctx.Err()
 	}
@@ -199,17 +267,37 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 		return nil, errors.New("fleet: no apps configured")
 	}
 
-	srv, err := server.New(server.Config{
-		Apps:       cfg.Apps,
-		Order:      cfg.Order,
-		CacheBytes: cfg.CacheBytes,
-		Fault:      cfg.Fault,
-	})
+	storeDir := cfg.Restart.StoreDir
+	if cfg.Restart.Enabled && storeDir == "" {
+		d, err := os.MkdirTemp("", "fleet-store-")
+		if err != nil {
+			return nil, err
+		}
+		defer os.RemoveAll(d)
+		storeDir = d
+	}
+	boot := func() (*server.Server, error) {
+		return server.New(server.Config{
+			Apps:       cfg.Apps,
+			Order:      cfg.Order,
+			CacheBytes: cfg.CacheBytes,
+			Fault:      cfg.Fault,
+			StoreDir:   storeDir,
+		})
+	}
+	srv, err := boot()
 	if err != nil {
 		return nil, err
 	}
+	// cur is the live server incarnation; the crash-restart swaps it
+	// under the one long-lived http.Server, exactly as a supervisor
+	// would re-exec the process behind a listening socket.
+	var cur atomic.Pointer[server.Server]
+	cur.Store(srv)
 	ln := newMemListener()
-	hs := &http.Server{Handler: srv.Handler()}
+	hs := &http.Server{Handler: http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		cur.Load().Handler().ServeHTTP(w, r)
+	})}
 	serveDone := make(chan struct{})
 	go func() {
 		defer close(serveDone)
@@ -243,6 +331,46 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 	agg := newAggregator(cfg.Links)
 	sem := make(chan struct{}, cfg.Workers)
 	start := time.Now()
+
+	// The restart trigger: once AfterFraction of the fleet has finished,
+	// the server "crashes" — every live connection is severed and a fresh
+	// incarnation boots over the same store — so every remaining client
+	// crosses the restart mid-session.
+	var restart *RestartReport
+	var restartErr error
+	restartDone := make(chan struct{})
+	runOver := make(chan struct{})
+	if cfg.Restart.Enabled {
+		go func() {
+			defer close(restartDone)
+			target := int(cfg.Restart.AfterFraction * float64(cfg.Clients))
+			for agg.completed() < target {
+				select {
+				case <-runOver:
+					return
+				case <-ctx.Done():
+					return
+				case <-time.After(100 * time.Microsecond):
+				}
+			}
+			next, err := boot()
+			if err != nil {
+				restartErr = err
+				return
+			}
+			cur.Store(next)
+			killed := ln.killConns()
+			restart = &RestartReport{
+				AfterFraction: cfg.Restart.AfterFraction,
+				Restarts:      1,
+				KillAtMs:      float64(time.Since(start)) / float64(time.Millisecond),
+				ConnsKilled:   killed,
+			}
+		}()
+	} else {
+		close(restartDone)
+	}
+
 	var wg sync.WaitGroup
 	for i := 0; i < cfg.Clients; i++ {
 		linkIdx := i % len(cfg.Links)
@@ -277,8 +405,29 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 		}(linkIdx, offset)
 	}
 	wg.Wait()
+	close(runOver)
+	<-restartDone
+	if restartErr != nil {
+		return nil, restartErr
+	}
 
-	rep := agg.report(cfg, srv.CacheStats(), time.Since(start))
+	final := cur.Load()
+	rep := agg.report(cfg, final.CacheStats(), time.Since(start))
+	if restart != nil {
+		// The restart proof fields: the first incarnation built every
+		// artifact exactly once; the second must have built nothing —
+		// every byte it served came from the persistent store.
+		post := final.CacheStats()
+		restart.PreBuilds = srv.CacheStats().Builds
+		restart.PostBuilds = post.Builds
+		restart.PostStoreHits = post.StoreHits
+		done, failed := agg.outcomes()
+		if done > 0 {
+			restart.SuccessRate = float64(done-failed) / float64(done)
+		}
+		restart.P99FirstInvocationMs = quantiles(agg.allFirstMs()).P99
+		rep.Restart = restart
+	}
 	return rep, nil
 }
 
@@ -317,6 +466,7 @@ type aggregator struct {
 	mu    sync.Mutex
 	links []stream.LinkClass
 	per   []*linkAgg
+	done  int // clients finished (success or failure)
 }
 
 type linkAgg struct {
@@ -338,9 +488,40 @@ func newAggregator(links []stream.LinkClass) *aggregator {
 	return &aggregator{links: links, per: per}
 }
 
+// completed reports how many clients have finished, successfully or
+// not — the restart trigger's progress signal.
+func (a *aggregator) completed() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.done
+}
+
+// outcomes returns total finished clients and how many of them failed.
+func (a *aggregator) outcomes() (done, failed int) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	for _, la := range a.per {
+		failed += la.failures
+	}
+	return a.done, failed
+}
+
+// allFirstMs flattens every successful client's first-invocation sample
+// across all link classes.
+func (a *aggregator) allFirstMs() []float64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	var out []float64
+	for _, la := range a.per {
+		out = append(out, la.firstMs...)
+	}
+	return out
+}
+
 func (a *aggregator) add(link int, r *clientResult) {
 	a.mu.Lock()
 	defer a.mu.Unlock()
+	a.done++
 	la := a.per[link]
 	la.clients++
 	if r.failed {

@@ -196,6 +196,48 @@ func TestFleetServerChaos(t *testing.T) {
 	}
 }
 
+// TestFleetRestart is the fleet-scale crash-restart scenario: after a
+// quarter of the clients finish, the server dies mid-stream for
+// everyone else and a fresh incarnation boots over the same persistent
+// store. Every client must still finish clean — resuming through
+// verified ranges — and the restarted server must serve entirely from
+// the store, with zero rebuilds.
+func TestFleetRestart(t *testing.T) {
+	cfg := fastConfig(t, 16)
+	cfg.Restart = RestartConfig{Enabled: true, AfterFraction: 0.25, StoreDir: t.TempDir()}
+	rep, err := Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, l := range rep.Links {
+		if l.Failures != 0 {
+			t.Fatalf("link %s: %d clients failed across the restart: %v", l.Link, l.Failures, l.Errors)
+		}
+	}
+	rr := rep.Restart
+	if rr == nil {
+		t.Fatal("no restart block in the report")
+	}
+	if rr.Restarts != 1 {
+		t.Fatalf("restarts = %d, want 1", rr.Restarts)
+	}
+	if rr.ConnsKilled == 0 {
+		t.Fatal("the crash severed no connections; nothing was mid-stream")
+	}
+	if rr.PreBuilds != int64(len(cfg.Apps)) {
+		t.Fatalf("first incarnation built %d artifacts for %d apps", rr.PreBuilds, len(cfg.Apps))
+	}
+	if rr.PostBuilds != 0 {
+		t.Fatalf("restarted server rebuilt %d artifacts; the store should have served them all", rr.PostBuilds)
+	}
+	if rr.SuccessRate != 1 {
+		t.Fatalf("client success rate across restart = %v, want 1", rr.SuccessRate)
+	}
+	if rr.P99FirstInvocationMs <= 0 {
+		t.Fatalf("p99 first-invocation across restart = %v, want > 0", rr.P99FirstInvocationMs)
+	}
+}
+
 // TestQuantiles pins the nearest-rank summary, including the empty
 // sample (which must yield zeros, not NaN — NaN would poison the JSON
 // encoder downstream).

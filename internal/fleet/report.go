@@ -65,6 +65,26 @@ type LinkReport struct {
 	Errors []string `json:"errors,omitempty"`
 }
 
+// RestartReport is the crash-restart scenario's proof block: the
+// second server incarnation must have built nothing (PostBuilds) while
+// the fleet kept succeeding (SuccessRate) at sane latency
+// (P99FirstInvocationMs spans the restart). PreBuilds, PostBuilds,
+// AfterFraction, and Restarts are deterministic; the rest measure the
+// actual run and are zeroed by Canonical.
+type RestartReport struct {
+	AfterFraction float64 `json:"after_fraction"`
+	Restarts      int64   `json:"restarts"`
+	KillAtMs      float64 `json:"kill_at_ms"`
+	ConnsKilled   int     `json:"conns_killed"`
+	PreBuilds     int64   `json:"pre_builds"`
+	PostBuilds    int64   `json:"post_builds"`
+	PostStoreHits int64   `json:"post_store_hits"`
+	// SuccessRate is finished-and-succeeded over finished, across the
+	// whole fleet — the client success rate across the restart.
+	SuccessRate          float64 `json:"success_rate"`
+	P99FirstInvocationMs float64 `json:"p99_first_invocation_ms"`
+}
+
 // Report is the BENCH_fleet.json document.
 type Report struct {
 	SchemaVersion string   `json:"schema"`
@@ -77,6 +97,7 @@ type Report struct {
 	DurationMs float64           `json:"duration_ms"`
 	Links      []LinkReport      `json:"links"`
 	Cache      server.CacheStats `json:"cache"`
+	Restart    *RestartReport    `json:"restart,omitempty"`
 }
 
 // Canonical returns a copy with every wall-clock-derived field zeroed,
@@ -96,6 +117,13 @@ func (r *Report) Canonical() *Report {
 		l.Errors = nil
 	}
 	c.Cache.Hits, c.Cache.Misses, c.Cache.BuildSeconds = 0, 0, 0
+	c.Cache.StoreHits, c.Cache.StoreMisses = 0, 0
+	if r.Restart != nil {
+		rr := *r.Restart
+		rr.KillAtMs, rr.ConnsKilled = 0, 0
+		rr.PostStoreHits, rr.P99FirstInvocationMs = 0, 0
+		c.Restart = &rr
+	}
 	return &c
 }
 

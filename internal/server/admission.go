@@ -1,0 +1,155 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Defaults for AdmitConfig fields left zero when admission is enabled.
+const (
+	DefaultMaxBuilds        = 2
+	DefaultMaxQueue         = 64
+	DefaultBreakerThreshold = 3
+	DefaultBreakerCooldown  = 5 * time.Second
+	DefaultRetryAfter       = time.Second
+)
+
+// AdmitConfig is the cache's overload policy. The zero value disables
+// admission control entirely — every miss builds, exactly the pre-
+// admission behaviour the interleaving checker pins. Enabled, it
+// bounds the build pipeline three ways: at most MaxBuilds builds run
+// concurrently, at most MaxQueue more may wait for a slot, and a key
+// that keeps failing is shed by its circuit breaker without consuming
+// either. Demand-fetch Range requests are priority traffic: they skip
+// the queue bound and jump the slot queue, because a mispredicted
+// client is stalled RIGHT NOW on those bytes while a cold build is
+// merely warming.
+type AdmitConfig struct {
+	// Enabled turns admission control on.
+	Enabled bool
+	// MaxBuilds bounds concurrently running builds (0 = 2).
+	MaxBuilds int
+	// MaxQueue bounds builds waiting for a slot, beyond the running
+	// ones; a non-priority miss beyond it is shed with 503 +
+	// Retry-After (0 = 64, negative = unbounded).
+	MaxQueue int
+	// BreakerThreshold is the consecutive build failures that trip a
+	// key's circuit breaker (0 = 3, negative = breaker disabled).
+	BreakerThreshold int
+	// BreakerCooldown is how long a tripped key sheds before a single
+	// half-open probe build is allowed (0 = 5s).
+	BreakerCooldown time.Duration
+	// RetryAfter is the hint attached to queue-full sheds (0 = 1s);
+	// breaker sheds hint the remaining cooldown instead.
+	RetryAfter time.Duration
+}
+
+func (c AdmitConfig) withDefaults() AdmitConfig {
+	if c.MaxBuilds <= 0 {
+		c.MaxBuilds = DefaultMaxBuilds
+	}
+	if c.MaxQueue == 0 {
+		c.MaxQueue = DefaultMaxQueue
+	}
+	if c.BreakerThreshold == 0 {
+		c.BreakerThreshold = DefaultBreakerThreshold
+	}
+	if c.BreakerCooldown <= 0 {
+		c.BreakerCooldown = DefaultBreakerCooldown
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = DefaultRetryAfter
+	}
+	return c
+}
+
+// ErrShed is the sentinel under every load-shedding error.
+var ErrShed = errors.New("server: overloaded")
+
+// ShedError is a request refused by admission control. It is decided
+// and returned synchronously — a shed never parks a goroutine, never
+// occupies a queue slot, and never runs any pipeline work; that is the
+// property the overload tests assert with goroutine counts.
+type ShedError struct {
+	Key Key
+	// RetryAfter is the backoff hint: queue pressure hints the
+	// configured pause, a tripped breaker hints its remaining cooldown.
+	RetryAfter time.Duration
+	// Reason is "queue-full" or "breaker-open".
+	Reason string
+}
+
+func (e *ShedError) Error() string {
+	return fmt.Sprintf("server: %s shed (%s), retry after %v", e.Key, e.Reason, e.RetryAfter)
+}
+
+func (e *ShedError) Unwrap() error { return ErrShed }
+
+// buildSlots is the bounded build-admission gate: a fixed number of
+// run slots, a priority queue and a normal queue of reservations
+// waiting for one. Reservations are made synchronously at admission
+// time (so the queue bound is enforced before any goroutine exists)
+// and waited on by the build goroutine. Priority reservations are
+// never refused and always granted a freed slot before normal ones.
+type buildSlots struct {
+	mu       sync.Mutex
+	capacity int
+	maxQueue int // -1 = unbounded
+	running  int
+	prio     []chan struct{}
+	norm     []chan struct{}
+}
+
+func newBuildSlots(capacity, maxQueue int) *buildSlots {
+	return &buildSlots{capacity: capacity, maxQueue: maxQueue}
+}
+
+// reserve claims a run slot or a queue position. ok=false means the
+// queue bound refused (only possible for non-priority reservations);
+// a nil ready channel means the slot is already held; otherwise the
+// holder must receive from ready before building.
+func (s *buildSlots) reserve(priority bool) (ready <-chan struct{}, ok bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.running < s.capacity {
+		s.running++
+		return nil, true
+	}
+	if !priority && s.maxQueue >= 0 && len(s.prio)+len(s.norm) >= s.maxQueue {
+		return nil, false
+	}
+	ch := make(chan struct{})
+	if priority {
+		s.prio = append(s.prio, ch)
+	} else {
+		s.norm = append(s.norm, ch)
+	}
+	return ch, true
+}
+
+// release frees the caller's run slot, handing it to the oldest
+// priority waiter, else the oldest normal waiter.
+func (s *buildSlots) release() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var next chan struct{}
+	switch {
+	case len(s.prio) > 0:
+		next, s.prio = s.prio[0], s.prio[1:]
+	case len(s.norm) > 0:
+		next, s.norm = s.norm[0], s.norm[1:]
+	default:
+		s.running--
+		return
+	}
+	close(next) // the slot transfers; running stays constant
+}
+
+// queued reports reservations currently waiting for a slot.
+func (s *buildSlots) queued() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.prio) + len(s.norm)
+}

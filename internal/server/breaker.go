@@ -1,0 +1,168 @@
+package server
+
+import (
+	"sync"
+	"time"
+)
+
+// BreakerState is the circuit breaker's position.
+type BreakerState int
+
+const (
+	// BreakerClosed: builds flow normally.
+	BreakerClosed BreakerState = iota
+	// BreakerOpen: the key has failed repeatedly; builds are shed until
+	// the cooldown elapses.
+	BreakerOpen
+	// BreakerHalfOpen: the cooldown elapsed; exactly one probe build is
+	// in flight, everyone else still sheds until it resolves.
+	BreakerHalfOpen
+)
+
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	}
+	return "invalid"
+}
+
+// Breaker is a per-key circuit breaker over the build pipeline: after
+// Threshold consecutive build failures it opens and sheds every caller
+// synchronously (no goroutine, no queue slot) for Cooldown, then lets
+// exactly one probe through; the probe's outcome closes or re-opens it.
+// The legal transition graph — closed→open only at the threshold,
+// open→half-open only after the cooldown, half-open→{closed,open} only
+// on the probe's outcome, trip count monotone — is enumerated against
+// an executable spec in internal/check.
+//
+// A Breaker is safe for concurrent use. The zero value is not valid;
+// use NewBreaker.
+type Breaker struct {
+	threshold int
+	cooldown  time.Duration
+	now       func() time.Time // test clock; never nil
+
+	mu       sync.Mutex
+	state    BreakerState
+	fails    int       // consecutive failures while closed
+	openedAt time.Time // when state last became open
+	probing  bool      // a half-open probe is in flight
+	trips    int64
+}
+
+// NewBreaker builds a breaker that trips after threshold consecutive
+// failures and probes again after cooldown. threshold <= 0 disables it
+// (Allow always admits).
+func NewBreaker(threshold int, cooldown time.Duration) *Breaker {
+	return &Breaker{threshold: threshold, cooldown: cooldown, now: time.Now}
+}
+
+// SetClock overrides the breaker's time source; tests and the
+// internal/check enumerator set it before use.
+func (b *Breaker) SetClock(now func() time.Time) { b.now = now }
+
+// Allow reports whether a build for this key may proceed. When it may
+// not, retryAfter is the time until the next probe becomes possible —
+// the Retry-After hint shed responses carry. An Allow that admits a
+// half-open probe MUST be followed by exactly one Record call.
+func (b *Breaker) Allow() (ok bool, retryAfter time.Duration) {
+	if b.threshold <= 0 {
+		return true, 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		return true, 0
+	case BreakerOpen:
+		remaining := b.cooldown - b.now().Sub(b.openedAt)
+		if remaining > 0 {
+			return false, remaining
+		}
+		b.state = BreakerHalfOpen
+		b.probing = true
+		return true, 0
+	case BreakerHalfOpen:
+		if b.probing {
+			return false, b.cooldown
+		}
+		b.probing = true
+		return true, 0
+	}
+	return false, b.cooldown
+}
+
+// CancelProbe undoes a probe claim made by Allow when the admitted
+// build never starts (the slot queue refused it). Only the caller that
+// was just granted the probe may call it; the breaker returns to
+// half-open-idle so the next caller can probe instead.
+func (b *Breaker) CancelProbe() {
+	if b.threshold <= 0 {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == BreakerHalfOpen {
+		b.probing = false
+	}
+}
+
+// Record reports a build outcome. Failures while closed accumulate
+// toward the threshold; any failure while half-open re-opens; success
+// closes and resets.
+func (b *Breaker) Record(failed bool) {
+	if b.threshold <= 0 {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == BreakerHalfOpen {
+		b.probing = false
+	}
+	if !failed {
+		b.state = BreakerClosed
+		b.fails = 0
+		return
+	}
+	switch b.state {
+	case BreakerClosed:
+		b.fails++
+		if b.fails >= b.threshold {
+			b.trip()
+		}
+	case BreakerHalfOpen:
+		b.trip()
+	case BreakerOpen:
+		// A build admitted before the trip can land after it; the
+		// breaker is already open, nothing more to record.
+	}
+}
+
+// trip moves to open; callers hold b.mu.
+func (b *Breaker) trip() {
+	b.state = BreakerOpen
+	b.openedAt = b.now()
+	b.fails = 0
+	b.trips++
+}
+
+// State returns the current position (advancing open→half-open is done
+// by Allow, not State, so observing the breaker never changes it).
+func (b *Breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// Trips returns how many times the breaker has opened; the counter only
+// grows.
+func (b *Breaker) Trips() int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.trips
+}

@@ -79,6 +79,19 @@ type CacheStats struct {
 	BuildErrors int64 `json:"build_errors"`
 	// BuildSeconds is wall-clock seconds spent inside the build pipeline.
 	BuildSeconds float64 `json:"build_seconds"`
+	// Shed is requests refused by admission control (bounded build
+	// queue or a tripped circuit breaker) — each one was answered
+	// synchronously with a Retry-After hint and cost no pipeline work.
+	Shed int64 `json:"shed_total"`
+	// BreakerTrips is how many times any key's circuit breaker opened;
+	// it only grows.
+	BreakerTrips int64 `json:"breaker_trips"`
+	// StoreHits and StoreMisses count misses that were satisfied from
+	// (or fell through) the persistent artifact store. A store hit
+	// publishes the artifact without advancing Builds — that is the
+	// warm-restart contract.
+	StoreHits   int64 `json:"store_hits"`
+	StoreMisses int64 `json:"store_misses"`
 	// Bytes and Entries describe the resident set.
 	Bytes   int64 `json:"bytes"`
 	Entries int   `json:"entries"`
@@ -101,15 +114,32 @@ type Cache struct {
 	// servers leave it nil. Set it before the cache sees traffic.
 	WaitHook func(Key)
 
+	// Store, when non-nil, is the persistent tier consulted before the
+	// build pipeline and written back after it: a miss that the store
+	// satisfies publishes the stored artifact without counting a build,
+	// so a restarted server is warm. Set it before the cache sees
+	// traffic.
+	Store Store
+
+	// Admit is the overload policy; the zero value disables admission
+	// control and preserves the pre-admission semantics the
+	// interleaving checker pins. Set it before the cache sees traffic.
+	Admit AdmitConfig
+
 	mu       sync.Mutex
 	entries  map[Key]*list.Element
 	lru      *list.List // front = most recently used
 	bytes    int64
 	inflight map[Key]*flight
+	admitCfg AdmitConfig // resolved Admit, once traffic starts
+	slots    *buildSlots
+	breakers map[Key]*Breaker
 
 	hits, misses, builds, evictions atomic.Int64
 	buildErrors                     atomic.Int64
 	buildNanos                      atomic.Int64
+	shed                            atomic.Int64
+	storeHits, storeMisses          atomic.Int64
 }
 
 type cacheEntry struct {
@@ -122,6 +152,10 @@ type flight struct {
 	done chan struct{}
 	art  *Artifact
 	err  error
+	// fromStore marks a flight satisfied by the persistent store: the
+	// artifact was published, but no build ran and Builds must not
+	// advance.
+	fromStore bool
 }
 
 // NewCache builds a cache with the given byte budget (0 or negative
@@ -144,7 +178,23 @@ func NewCache(budget int64, build func(ctx context.Context, k Key) (*Artifact, e
 // already resident (no build, no wait). ctx bounds only this caller's
 // wait: the build itself is never canceled by one impatient client,
 // because its result is shared by every waiter and by future requests.
+//
+// With admission control enabled, a miss that the overload policy
+// refuses returns a *ShedError synchronously — no goroutine is spawned
+// and no queue slot is held on behalf of a shed caller.
 func (c *Cache) Get(ctx context.Context, k Key) (art *Artifact, hit bool, err error) {
+	return c.get(ctx, k, false)
+}
+
+// GetPriority is Get for demand-fetch traffic: the caller is a client
+// stalled mid-execution on these bytes, so its build reservation skips
+// the queue bound and jumps freed slots. With admission disabled it is
+// identical to Get.
+func (c *Cache) GetPriority(ctx context.Context, k Key) (art *Artifact, hit bool, err error) {
+	return c.get(ctx, k, true)
+}
+
+func (c *Cache) get(ctx context.Context, k Key, priority bool) (art *Artifact, hit bool, err error) {
 	c.mu.Lock()
 	if el, ok := c.entries[k]; ok {
 		c.lru.MoveToFront(el)
@@ -166,31 +216,114 @@ func (c *Cache) Get(ctx context.Context, k Key) (art *Artifact, hit bool, err er
 			return nil, false, ctx.Err()
 		}
 	}
+	if !c.Admit.Enabled {
+		f := &flight{done: make(chan struct{})}
+		c.inflight[k] = f
+		c.mu.Unlock()
+		c.misses.Add(1)
+		c.runBuild(k, f, nil)
+		return f.art, false, f.err
+	}
+
+	// Admission-controlled miss. The shed decision is made here, under
+	// the same lock that serializes flight creation, and returned
+	// synchronously: a shed caller owns no flight, no goroutine, and no
+	// queue slot. Flight creation is serialized per key, so at most one
+	// caller at a time negotiates with this key's breaker.
+	c.ensureAdmitLocked()
+	br := c.breakerLocked(k)
+	if ok, after := br.Allow(); !ok {
+		c.mu.Unlock()
+		c.shed.Add(1)
+		return nil, false, &ShedError{Key: k, RetryAfter: after, Reason: "breaker-open"}
+	}
+	ready, ok := c.slots.reserve(priority)
+	if !ok {
+		br.CancelProbe()
+		c.mu.Unlock()
+		c.shed.Add(1)
+		return nil, false, &ShedError{Key: k, RetryAfter: c.admitCfg.RetryAfter, Reason: "queue-full"}
+	}
 	f := &flight{done: make(chan struct{})}
 	c.inflight[k] = f
 	c.mu.Unlock()
 	c.misses.Add(1)
-	c.runBuild(k, f)
-	return f.art, false, f.err
+	go func() {
+		if ready != nil {
+			<-ready
+		}
+		defer c.slots.release()
+		c.runBuild(k, f, br)
+	}()
+	select {
+	case <-f.done:
+		return f.art, false, f.err
+	case <-ctx.Done():
+		return nil, false, ctx.Err()
+	}
 }
 
-// runBuild executes the build pipeline for k and publishes the outcome
-// into f. The cleanup is deferred so it runs even when the build
-// function panics: the panic becomes an ordinary build error, the
-// flight is removed, and f.done is closed, so waiters fail fast. A
-// non-deferred epilogue here once leaked the inflight entry on panic
-// and left f.done open forever — every later request for the key then
-// parked on a flight nothing would ever finish.
-func (c *Cache) runBuild(k Key, f *flight) {
+// ensureAdmitLocked resolves the Admit policy on first admission-
+// controlled miss; callers hold c.mu.
+func (c *Cache) ensureAdmitLocked() {
+	if c.slots != nil {
+		return
+	}
+	c.admitCfg = c.Admit.withDefaults()
+	c.slots = newBuildSlots(c.admitCfg.MaxBuilds, c.admitCfg.MaxQueue)
+	c.breakers = make(map[Key]*Breaker)
+}
+
+// breakerLocked returns k's circuit breaker, creating it on first use;
+// callers hold c.mu.
+func (c *Cache) breakerLocked(k Key) *Breaker {
+	br, ok := c.breakers[k]
+	if !ok {
+		br = NewBreaker(c.admitCfg.BreakerThreshold, c.admitCfg.BreakerCooldown)
+		c.breakers[k] = br
+	}
+	return br
+}
+
+// BreakerState reports the current breaker position for k; keys that
+// never tripped admission report closed.
+func (c *Cache) BreakerState(k Key) BreakerState {
+	c.mu.Lock()
+	br := c.breakers[k]
+	c.mu.Unlock()
+	if br == nil {
+		return BreakerClosed
+	}
+	return br.State()
+}
+
+// runBuild satisfies the flight for k — from the persistent store when
+// it has an intact entry, else by running the build pipeline — and
+// publishes the outcome into f. The cleanup is deferred so it runs even
+// when the build function panics: the panic becomes an ordinary build
+// error, the flight is removed, and f.done is closed, so waiters fail
+// fast. A non-deferred epilogue here once leaked the inflight entry on
+// panic and left f.done open forever — every later request for the key
+// then parked on a flight nothing would ever finish.
+//
+// br, when non-nil, is k's circuit breaker; the outcome is recorded
+// BEFORE f.done closes, so a caller that saw the flight resolve also
+// sees the breaker state the outcome implies.
+func (c *Cache) runBuild(k Key, f *flight, br *Breaker) {
 	start := time.Now()
 	defer func() {
 		if r := recover(); r != nil {
 			f.art, f.err = nil, fmt.Errorf("server: building %s: build panicked: %v", k, r)
 		}
-		c.builds.Add(1)
-		c.buildNanos.Add(int64(time.Since(start)))
-		if f.err != nil {
-			c.buildErrors.Add(1)
+		if !f.fromStore {
+			c.builds.Add(1)
+			c.buildNanos.Add(int64(time.Since(start)))
+			if f.err != nil {
+				c.buildErrors.Add(1)
+			}
+		}
+		if br != nil {
+			br.Record(f.err != nil)
 		}
 		c.mu.Lock()
 		delete(c.inflight, k)
@@ -200,6 +333,16 @@ func (c *Cache) runBuild(k Key, f *flight) {
 		c.mu.Unlock()
 		close(f.done)
 	}()
+	if c.Store != nil {
+		if art, err := c.Store.Get(k); err == nil {
+			c.storeHits.Add(1)
+			f.art, f.fromStore = art, true
+			return
+		}
+		// Any store failure — a miss or a quarantined entry — falls
+		// through to a clean rebuild; the store never serves doubt.
+		c.storeMisses.Add(1)
+	}
 	// context.Background(), deliberately: the artifact outlives the
 	// request that happened to arrive first.
 	art, err := c.build(context.Background(), k)
@@ -207,6 +350,12 @@ func (c *Cache) runBuild(k Key, f *flight) {
 		err = fmt.Errorf("server: building %s: %w", k, err)
 	}
 	f.art, f.err = art, err
+	if err == nil && c.Store != nil {
+		// Write-back is best-effort: a store that cannot persist must
+		// not fail the request the pipeline just satisfied. The store
+		// counts its own put errors.
+		_ = c.Store.Put(art)
+	}
 }
 
 // Peek returns the resident artifact for k without building, waiting, or
@@ -248,6 +397,10 @@ func (c *Cache) insertLocked(k Key, art *Artifact) {
 func (c *Cache) Stats() CacheStats {
 	c.mu.Lock()
 	bytes, entries := c.bytes, c.lru.Len()
+	var trips int64
+	for _, br := range c.breakers {
+		trips += br.Trips()
+	}
 	c.mu.Unlock()
 	return CacheStats{
 		Hits:         c.hits.Load(),
@@ -256,6 +409,10 @@ func (c *Cache) Stats() CacheStats {
 		Evictions:    c.evictions.Load(),
 		BuildErrors:  c.buildErrors.Load(),
 		BuildSeconds: time.Duration(c.buildNanos.Load()).Seconds(),
+		Shed:         c.shed.Load(),
+		BreakerTrips: trips,
+		StoreHits:    c.storeHits.Load(),
+		StoreMisses:  c.storeMisses.Load(),
 		Bytes:        bytes,
 		Entries:      entries,
 	}

@@ -26,6 +26,8 @@ type Metrics struct {
 	activeStreams atomic.Int64
 	faults        *stream.FaultStats
 	cache         *Cache
+	store         Store        // nil without a persistent tier
+	draining      *atomic.Bool // nil in bare test metrics
 }
 
 func newMetrics(cache *Cache) *Metrics {
@@ -83,8 +85,25 @@ func (m *Metrics) handler() http.Handler {
 		counter("nonstrict_cache_evictions_total", "Artifacts evicted to fit the byte budget.", cs.Evictions)
 		counter("nonstrict_cache_build_errors_total", "Builds that failed (error or panic) and published no artifact.", cs.BuildErrors)
 		fmt.Fprintf(&b, "# HELP nonstrict_cache_build_seconds_total Wall-clock seconds spent building artifacts.\n# TYPE nonstrict_cache_build_seconds_total counter\nnonstrict_cache_build_seconds_total %g\n", cs.BuildSeconds)
+		counter("nonstrict_cache_shed_total", "Requests refused by admission control (queue bound or open breaker).", cs.Shed)
+		counter("nonstrict_cache_breaker_trips_total", "Circuit-breaker trips across all keys.", cs.BreakerTrips)
+		counter("nonstrict_store_hits_total", "Cache misses satisfied from the persistent artifact store (no build).", cs.StoreHits)
+		counter("nonstrict_store_misses_total", "Cache misses the persistent store could not satisfy.", cs.StoreMisses)
 		gauge("nonstrict_cache_bytes", "Bytes resident in the artifact cache.", cs.Bytes)
 		gauge("nonstrict_cache_entries", "Artifacts resident in the cache.", int64(cs.Entries))
+		if m.store != nil {
+			ss := m.store.Stats()
+			counter("nonstrict_store_puts_total", "Artifacts durably written to the persistent store.", ss.Puts)
+			counter("nonstrict_store_put_errors_total", "Store writes that failed (the request still succeeded).", ss.PutErrors)
+			counter("nonstrict_store_quarantined_total", "Store entries that failed verification and were quarantined.", ss.Quarantined)
+			gauge("nonstrict_store_entries", "Intact entries resident in the persistent store.", int64(ss.Entries))
+			gauge("nonstrict_store_bytes", "Payload bytes resident in the persistent store.", ss.Bytes)
+		}
+		var draining int64
+		if m.draining != nil && m.draining.Load() {
+			draining = 1
+		}
+		gauge("nonstrict_draining", "1 while the server is draining (readyz failing, builds shed).", draining)
 		fc := m.faults.Snapshot()
 		fmt.Fprintf(&b, "# HELP nonstrict_fault_injections_total Faults injected by the chaos schedule, by kind.\n# TYPE nonstrict_fault_injections_total counter\n")
 		for _, kv := range []struct {
@@ -156,7 +175,7 @@ func publishExpvars(m *Metrics) {
 				return nil
 			}
 			cs := m.cache.Stats()
-			return map[string]any{
+			out := map[string]any{
 				"requests":       m.requests.Load(),
 				"range_requests": m.rangeRequests.Load(),
 				"not_modified":   m.notModified.Load(),
@@ -165,6 +184,13 @@ func publishExpvars(m *Metrics) {
 				"faults":         m.faults.Snapshot(),
 				"cache":          cs,
 			}
+			if m.store != nil {
+				out["store"] = m.store.Stats()
+			}
+			if m.draining != nil {
+				out["draining"] = m.draining.Load()
+			}
+			return out
 		}))
 	})
 }

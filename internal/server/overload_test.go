@@ -1,0 +1,382 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+)
+
+// blockingBuilder is a build function whose completions the test
+// controls: each build parks until its key's gate channel is closed,
+// and records the order builds started in.
+type blockingBuilder struct {
+	mu      sync.Mutex
+	gates   map[Key]chan struct{}
+	started []Key
+}
+
+func newBlockingBuilder() *blockingBuilder {
+	return &blockingBuilder{gates: make(map[Key]chan struct{})}
+}
+
+func (b *blockingBuilder) gate(k Key) chan struct{} {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	g, ok := b.gates[k]
+	if !ok {
+		g = make(chan struct{})
+		b.gates[k] = g
+	}
+	return g
+}
+
+func (b *blockingBuilder) build(ctx context.Context, k Key) (*Artifact, error) {
+	b.mu.Lock()
+	b.started = append(b.started, k)
+	b.mu.Unlock()
+	<-b.gate(k)
+	return storeArt(k.App, k.Order, []byte("built "+k.App), []byte("toc")), nil
+}
+
+func (b *blockingBuilder) startedKeys() []Key {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return append([]Key(nil), b.started...)
+}
+
+func key(i int) Key { return Key{App: fmt.Sprintf("app%02d", i), Order: OrderStatic} }
+
+// waitStarted spins until n builds have entered the build function.
+func waitStarted(t *testing.T, bb *blockingBuilder, n int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for len(bb.startedKeys()) < n {
+		if time.Now().After(deadline) {
+			t.Fatalf("never saw %d builds start", n)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// waitQueued spins until the cache's slot queue holds n reservations.
+func waitQueued(t *testing.T, c *Cache, n int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		c.mu.Lock()
+		s := c.slots
+		c.mu.Unlock()
+		if s != nil && s.queued() >= n {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("slot queue never reached %d reservations", n)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestAdmissionShedsQueueFull: with one build slot and a queue of one,
+// a third cold key is refused synchronously with a Retry-After hint —
+// and refusals do not leak goroutines.
+func TestAdmissionShedsQueueFull(t *testing.T) {
+	bb := newBlockingBuilder()
+	c := NewCache(0, bb.build)
+	c.Admit = AdmitConfig{Enabled: true, MaxBuilds: 1, MaxQueue: 1, BreakerThreshold: -1}
+	ctx := context.Background()
+
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ { // key0 takes the slot, key1 the queue seat
+		wg.Add(1)
+		go func(k Key) {
+			defer wg.Done()
+			if _, _, err := c.Get(ctx, k); err != nil {
+				t.Errorf("admitted Get(%v): %v", k, err)
+			}
+		}(key(i))
+	}
+	waitQueued(t, c, 1)
+
+	runtime.GC()
+	before := runtime.NumGoroutine()
+	const storm = 100
+	for i := 0; i < storm; i++ {
+		_, _, err := c.Get(ctx, key(2+i))
+		var shed *ShedError
+		if !errors.As(err, &shed) {
+			t.Fatalf("Get over capacity = %v, want ShedError", err)
+		}
+		if shed.Reason != "queue-full" {
+			t.Fatalf("shed reason %q, want queue-full", shed.Reason)
+		}
+		if shed.RetryAfter <= 0 {
+			t.Fatalf("shed carries no Retry-After hint")
+		}
+		if !errors.Is(err, ErrShed) {
+			t.Fatalf("ShedError does not unwrap to ErrShed")
+		}
+	}
+	// Sheds are synchronous: the storm must not have parked anything.
+	if after := runtime.NumGoroutine(); after > before+3 {
+		t.Fatalf("shed storm grew goroutines %d -> %d", before, after)
+	}
+	if got := c.Stats().Shed; got != storm {
+		t.Fatalf("shed_total = %d, want %d", got, storm)
+	}
+
+	close(bb.gate(key(0)))
+	close(bb.gate(key(1)))
+	wg.Wait()
+	if got := c.Stats().Builds; got != 2 {
+		t.Fatalf("builds = %d, want 2", got)
+	}
+}
+
+// TestPriorityBypassesQueueBound: a Range demand fetch is admitted past
+// a full queue and is handed the next freed slot before queued cold
+// builds.
+func TestPriorityBypassesQueueBound(t *testing.T) {
+	bb := newBlockingBuilder()
+	c := NewCache(0, bb.build)
+	c.Admit = AdmitConfig{Enabled: true, MaxBuilds: 1, MaxQueue: 1, BreakerThreshold: -1}
+	ctx := context.Background()
+
+	var wg sync.WaitGroup
+	get := func(k Key, priority bool) {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			fn := c.Get
+			if priority {
+				fn = c.GetPriority
+			}
+			if _, _, err := fn(ctx, k); err != nil {
+				t.Errorf("Get(%v): %v", k, err)
+			}
+		}()
+	}
+	get(key(0), false) // takes the slot
+	waitStarted(t, bb, 1)
+	get(key(1), false) // fills the queue
+	waitQueued(t, c, 1)
+
+	// The queue is full: a normal miss sheds...
+	if _, _, err := c.Get(ctx, key(2)); !errors.Is(err, ErrShed) {
+		t.Fatalf("normal Get with full queue = %v, want shed", err)
+	}
+	// ...but a priority miss is admitted.
+	get(key(3), true)
+	waitQueued(t, c, 2)
+
+	// Free the slot: the priority reservation must build before the
+	// older normal one.
+	close(bb.gate(key(0)))
+	close(bb.gate(key(3)))
+	close(bb.gate(key(1)))
+	wg.Wait()
+
+	started := bb.startedKeys()
+	if len(started) != 3 || started[0] != key(0) || started[1] != key(3) || started[2] != key(1) {
+		t.Fatalf("build order %v, want [app00 app03 app01]", started)
+	}
+}
+
+// failingBuilder fails until healed.
+type failingBuilder struct {
+	mu     sync.Mutex
+	healed bool
+	builds int
+}
+
+func (b *failingBuilder) heal() {
+	b.mu.Lock()
+	b.healed = true
+	b.mu.Unlock()
+}
+
+func (b *failingBuilder) build(ctx context.Context, k Key) (*Artifact, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.builds++
+	if !b.healed {
+		return nil, fmt.Errorf("backend down")
+	}
+	return storeArt(k.App, k.Order, []byte("recovered"), []byte("toc")), nil
+}
+
+// TestBreakerTripsAndRecovers drives a key through the whole breaker
+// cycle: consecutive failures trip it, callers inside the cooldown are
+// shed without touching the pipeline, and after the cooldown a single
+// successful probe closes it again.
+func TestBreakerTripsAndRecovers(t *testing.T) {
+	fb := &failingBuilder{}
+	c := NewCache(0, fb.build)
+	const cooldown = 50 * time.Millisecond
+	c.Admit = AdmitConfig{Enabled: true, BreakerThreshold: 2, BreakerCooldown: cooldown}
+	ctx := context.Background()
+	k := key(0)
+
+	for i := 0; i < 2; i++ {
+		if _, _, err := c.Get(ctx, k); err == nil || errors.Is(err, ErrShed) {
+			t.Fatalf("failure %d: err = %v, want plain build error", i, err)
+		}
+	}
+	if st := c.BreakerState(k); st != BreakerOpen {
+		t.Fatalf("after %d failures breaker is %v, want open", 2, st)
+	}
+	if got := c.Stats().BreakerTrips; got != 1 {
+		t.Fatalf("breaker_trips = %d, want 1", got)
+	}
+
+	// Inside the cooldown: shed, and the pipeline is not consulted.
+	builds := fb.builds
+	_, _, err := c.Get(ctx, k)
+	var shed *ShedError
+	if !errors.As(err, &shed) || shed.Reason != "breaker-open" {
+		t.Fatalf("Get while open = %v, want breaker-open shed", err)
+	}
+	if shed.RetryAfter <= 0 || shed.RetryAfter > cooldown {
+		t.Fatalf("breaker shed hints %v, want (0, %v]", shed.RetryAfter, cooldown)
+	}
+	if fb.builds != builds {
+		t.Fatal("a shed request reached the build pipeline")
+	}
+
+	// After the cooldown the probe goes through; healed, it closes.
+	fb.heal()
+	time.Sleep(cooldown + 10*time.Millisecond)
+	if _, _, err := c.Get(ctx, k); err != nil {
+		t.Fatalf("probe after cooldown: %v", err)
+	}
+	if st := c.BreakerState(k); st != BreakerClosed {
+		t.Fatalf("after successful probe breaker is %v, want closed", st)
+	}
+	// Trips only ever grow; recovery does not rewind the counter.
+	if got := c.Stats().BreakerTrips; got != 1 {
+		t.Fatalf("breaker_trips = %d after recovery, want 1", got)
+	}
+}
+
+// TestBreakerReopensOnFailedProbe: a probe that fails re-opens the
+// breaker immediately (no second threshold accumulation).
+func TestBreakerReopensOnFailedProbe(t *testing.T) {
+	fb := &failingBuilder{}
+	c := NewCache(0, fb.build)
+	const cooldown = 30 * time.Millisecond
+	c.Admit = AdmitConfig{Enabled: true, BreakerThreshold: 1, BreakerCooldown: cooldown}
+	ctx := context.Background()
+	k := key(0)
+
+	if _, _, err := c.Get(ctx, k); err == nil {
+		t.Fatal("want build error")
+	}
+	time.Sleep(cooldown + 10*time.Millisecond)
+	if _, _, err := c.Get(ctx, k); err == nil || errors.Is(err, ErrShed) {
+		t.Fatalf("probe = %v, want plain build error", err)
+	}
+	if st := c.BreakerState(k); st != BreakerOpen {
+		t.Fatalf("after failed probe breaker is %v, want open", st)
+	}
+	if got := c.Stats().BreakerTrips; got != 2 {
+		t.Fatalf("breaker_trips = %d, want 2", got)
+	}
+}
+
+// TestBreakerShedNoGoroutines: a tripped key sheds a storm of callers
+// without queuing a single goroutine — the property that makes an
+// outage cheap instead of a pile-up.
+func TestBreakerShedNoGoroutines(t *testing.T) {
+	fb := &failingBuilder{}
+	c := NewCache(0, fb.build)
+	c.Admit = AdmitConfig{Enabled: true, BreakerThreshold: 1, BreakerCooldown: time.Hour}
+	ctx := context.Background()
+	k := key(0)
+	if _, _, err := c.Get(ctx, k); err == nil {
+		t.Fatal("want build error")
+	}
+
+	runtime.GC()
+	before := runtime.NumGoroutine()
+	for i := 0; i < 200; i++ {
+		if _, _, err := c.Get(ctx, k); !errors.Is(err, ErrShed) {
+			t.Fatalf("Get %d = %v, want shed", i, err)
+		}
+	}
+	if after := runtime.NumGoroutine(); after > before+3 {
+		t.Fatalf("breaker sheds grew goroutines %d -> %d", before, after)
+	}
+	if got := c.Stats().Shed; got != 200 {
+		t.Fatalf("shed_total = %d, want 200", got)
+	}
+	if fb.builds != 1 {
+		t.Fatalf("pipeline ran %d times, want 1", fb.builds)
+	}
+}
+
+// TestAdmissionDisabledUnchanged: the zero AdmitConfig preserves the
+// original synchronous semantics — no slots, no breakers, no sheds.
+func TestAdmissionDisabledUnchanged(t *testing.T) {
+	fb := &failingBuilder{}
+	c := NewCache(0, fb.build)
+	ctx := context.Background()
+	k := key(0)
+	for i := 0; i < 10; i++ {
+		if _, _, err := c.Get(ctx, k); err == nil || errors.Is(err, ErrShed) {
+			t.Fatalf("Get %d = %v, want plain build error (no shedding without admission)", i, err)
+		}
+	}
+	if st := c.Stats(); st.Shed != 0 || st.BreakerTrips != 0 || st.BuildErrors != 10 {
+		t.Fatalf("stats = %+v, want 10 plain build errors", st)
+	}
+}
+
+// TestDrainLifecycle covers the HTTP lifecycle surface: healthz always
+// answers, readyz flips on drain, resident artifacts still serve while
+// draining, and non-resident ones are shed with Retry-After.
+func TestDrainLifecycle(t *testing.T) {
+	s, err := New(Config{Apps: []string{benchApp}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Warm(context.Background(), benchApp); err != nil {
+		t.Fatal(err)
+	}
+
+	get := func(path string) (int, http.Header) {
+		t.Helper()
+		rec := httptest.NewRecorder()
+		s.Handler().ServeHTTP(rec, httptest.NewRequest(http.MethodGet, path, nil))
+		return rec.Code, rec.Result().Header
+	}
+
+	if code, _ := get("/healthz"); code != 200 {
+		t.Fatalf("healthz = %d before drain", code)
+	}
+	if code, _ := get("/readyz"); code != 200 {
+		t.Fatalf("readyz = %d before drain", code)
+	}
+	if code, _ := get("/apps/" + benchApp + "/app"); code != 200 {
+		t.Fatalf("resident app = %d before drain", code)
+	}
+
+	s.BeginDrain()
+	if !s.Draining() {
+		t.Fatal("Draining() false after BeginDrain")
+	}
+	if code, _ := get("/healthz"); code != 200 {
+		t.Fatalf("healthz = %d while draining, want 200 (alive, not ready)", code)
+	}
+	if code, hdr := get("/readyz"); code != 503 || hdr.Get("Retry-After") == "" {
+		t.Fatalf("readyz = %d (Retry-After %q) while draining, want 503 + hint", code, hdr.Get("Retry-After"))
+	}
+	// Resident artifact: still served, streams may finish.
+	if code, _ := get("/apps/" + benchApp + "/app"); code != 200 {
+		t.Fatalf("resident app = %d while draining, want 200", code)
+	}
+}

@@ -1,0 +1,270 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"nonstrict/internal/apps"
+	"nonstrict/internal/stream"
+)
+
+// crashableServer is the restart-chaos harness: one TCP listener whose
+// live connections can be severed at will, fronting an atomically
+// swappable *Server. A "crash" abruptly closes every in-flight
+// connection; a "restart" replaces the entire Server — fresh cache,
+// fresh DiskStore handle — over the same store directory, exactly the
+// state a rebooted process would have.
+type crashableServer struct {
+	t        *testing.T
+	storeDir string
+	ln       *trackingListener
+	hs       *http.Server
+	cur      atomic.Pointer[Server]
+	restarts atomic.Int64
+}
+
+type trackingListener struct {
+	net.Listener
+	mu    sync.Mutex
+	conns map[net.Conn]struct{}
+}
+
+func (l *trackingListener) Accept() (net.Conn, error) {
+	c, err := l.Listener.Accept()
+	if err != nil {
+		return nil, err
+	}
+	l.mu.Lock()
+	if l.conns == nil {
+		l.conns = make(map[net.Conn]struct{})
+	}
+	l.conns[c] = struct{}{}
+	l.mu.Unlock()
+	return &trackedConn{Conn: c, l: l}, nil
+}
+
+func (l *trackingListener) killConns() {
+	l.mu.Lock()
+	for c := range l.conns {
+		c.Close()
+	}
+	l.conns = nil
+	l.mu.Unlock()
+}
+
+func (l *trackingListener) forget(c net.Conn) {
+	l.mu.Lock()
+	delete(l.conns, c)
+	l.mu.Unlock()
+}
+
+type trackedConn struct {
+	net.Conn
+	l    *trackingListener
+	once sync.Once
+}
+
+func (c *trackedConn) Close() error {
+	c.once.Do(func() { c.l.forget(c.Conn) })
+	return c.Conn.Close()
+}
+
+func newCrashableServer(t *testing.T, storeDir string) *crashableServer {
+	t.Helper()
+	raw, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs := &crashableServer{t: t, storeDir: storeDir, ln: &trackingListener{Listener: raw}}
+	cs.boot()
+	cs.hs = &http.Server{Handler: http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		cs.cur.Load().Handler().ServeHTTP(w, r)
+	})}
+	go cs.hs.Serve(cs.ln)
+	t.Cleanup(func() { cs.hs.Close() })
+	return cs
+}
+
+// boot constructs a fresh Server over the store directory — the state a
+// newly exec'd process would build. Responses are paced so a kill lands
+// while bytes are genuinely in flight instead of already sitting in
+// socket buffers.
+func (cs *crashableServer) boot() *Server {
+	s, err := New(Config{Apps: []string{benchApp}, StoreDir: cs.storeDir, Rate: 96 << 10})
+	if err != nil {
+		cs.t.Fatal(err)
+	}
+	cs.cur.Store(s)
+	return s
+}
+
+// crashRestart severs every live connection mid-byte and boots a
+// replacement server on the same store directory.
+func (cs *crashableServer) crashRestart() {
+	cs.boot()
+	cs.ln.killConns()
+	cs.restarts.Add(1)
+}
+
+func (cs *crashableServer) url() string { return "http://" + cs.ln.Addr().String() }
+
+// killingReader triggers a crash-restart as the client's read offset
+// crosses each scheduled byte offset — the "seeded offsets" of the
+// chaos schedule.
+type killingReader struct {
+	r       io.Reader
+	off     int64
+	kills   []int64
+	trigger func()
+}
+
+func (k *killingReader) Read(p []byte) (int, error) {
+	if len(k.kills) > 0 && k.off >= k.kills[0] {
+		k.kills = k.kills[1:]
+		k.trigger()
+	}
+	n, err := k.r.Read(p)
+	k.off += int64(n)
+	return n, err
+}
+
+// TestRestartResume is the kill-restart proof: a server dies mid-stream
+// (twice, at seeded offsets), restarts on the same store directory, and
+// the client transparently resumes with verified Range requests into a
+// byte-identical, fully loadable stream — while the restarted server
+// performs zero builds.
+func TestRestartResume(t *testing.T) {
+	for _, seed := range []uint64{1, 0xDEAD} {
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			cs := newCrashableServer(t, t.TempDir())
+			ctx := context.Background()
+
+			// Warm server #1: the only build of the whole test. The
+			// write-through Put makes the store the restart's source.
+			first := cs.cur.Load()
+			if _, err := first.Warm(ctx, benchApp); err != nil {
+				t.Fatal(err)
+			}
+			want := first.cache.Peek(Key{App: benchApp, Order: first.Order()})
+			if want == nil {
+				t.Fatal("warmed artifact not resident")
+			}
+			if got := first.CacheStats().Builds; got != 1 {
+				t.Fatalf("warm ran %d builds, want 1", got)
+			}
+
+			// Seeded kill offsets: two crashes inside the stream body.
+			size := int64(len(want.Data))
+			kills := []int64{
+				int64(seed%97+3) * size / 200,    // ~1.5–50% in
+				size/2 + int64(seed%31)*size/100, // past the midpoint
+			}
+			if kills[1] >= size {
+				kills[1] = size - 1
+			}
+
+			fc := &stream.FetchClient{JitterSeed: seed, BackoffBase: 5 * time.Millisecond}
+			body, err := fc.Open(ctx, cs.url()+"/apps/"+benchApp+"/app")
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer body.Close()
+			kr := &killingReader{r: body, kills: kills, trigger: cs.crashRestart}
+
+			// Drive the full non-strict loader over the resuming stream:
+			// it verifies every unit checksum as bytes arrive, so a
+			// mis-spliced resume cannot hide.
+			app, err := apps.ByName(benchApp)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var got bytes.Buffer
+			loader := stream.NewLoader(benchApp, app.IR.Main, nil)
+			if err := loader.Load(io.TeeReader(kr, &got), nil); err != nil {
+				t.Fatalf("load across restarts: %v", err)
+			}
+
+			if cs.restarts.Load() != 2 {
+				t.Fatalf("schedule fired %d restarts, want 2", cs.restarts.Load())
+			}
+			if !bytes.Equal(got.Bytes(), want.Data) {
+				t.Fatalf("stream across restarts differs: got %d bytes, want %d", got.Len(), len(want.Data))
+			}
+			if st := fc.Stats(); st.Resumes < 2 {
+				t.Fatalf("client resumed %d times, want >= 2", st.Resumes)
+			}
+			if n := loader.Integrity().Outstanding; n != 0 {
+				t.Fatalf("%d units quarantined forever", n)
+			}
+			if _, err := loader.Program(); err != nil {
+				t.Fatalf("loaded program incomplete: %v", err)
+			}
+
+			// The restarted server: identical validator, zero builds —
+			// everything came from the store.
+			second := cs.cur.Load()
+			st := second.CacheStats()
+			if st.Builds != 0 {
+				t.Fatalf("restarted server ran %d builds, want 0", st.Builds)
+			}
+			if st.StoreHits < 1 {
+				t.Fatalf("restarted server store_hits = %d, want >= 1", st.StoreHits)
+			}
+			art := second.cache.Peek(Key{App: benchApp, Order: second.Order()})
+			if art == nil {
+				t.Fatal("restarted server has no resident artifact")
+			}
+			if art.ETag != want.ETag {
+				t.Fatalf("restart changed ETag: %s -> %s", want.ETag, art.ETag)
+			}
+		})
+	}
+}
+
+// TestRestartRevalidation: a client that cached the artifact before the
+// crash still revalidates to 304 against the restarted server, because
+// the store preserved the content-addressed validator.
+func TestRestartRevalidation(t *testing.T) {
+	cs := newCrashableServer(t, t.TempDir())
+	ctx := context.Background()
+	if _, err := cs.cur.Load().Warm(ctx, benchApp); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get(cs.url() + "/apps/" + benchApp + "/app")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	etag := resp.Header.Get("ETag")
+	if etag == "" {
+		t.Fatal("no ETag on first response")
+	}
+
+	cs.crashRestart()
+
+	req, err := http.NewRequest(http.MethodGet, cs.url()+"/apps/"+benchApp+"/app", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("If-None-Match", etag)
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusNotModified {
+		t.Fatalf("revalidation after restart = %s, want 304", resp.Status)
+	}
+	if st := cs.cur.Load().CacheStats(); st.Builds != 0 {
+		t.Fatalf("restarted server ran %d builds, want 0", st.Builds)
+	}
+}

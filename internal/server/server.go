@@ -21,8 +21,11 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
+	"sync/atomic"
 	"time"
 
 	"nonstrict/internal/apps"
@@ -66,18 +69,31 @@ type Config struct {
 	// Fault is the chaos layer wrapped around every app request —
 	// including cache hits. The zero value injects nothing.
 	Fault stream.Fault
+	// StoreDir, when set, backs the cache with a crash-safe DiskStore at
+	// that directory: builds are written through, misses consult it, and
+	// a restarted server on the same directory serves byte-identical
+	// artifacts without rebuilding.
+	StoreDir string
+	// Store, when non-nil, backs the cache directly (overrides
+	// StoreDir). Tests use it to inject crash hooks.
+	Store Store
+	// Admit is the overload policy (see AdmitConfig); the zero value
+	// disables admission control.
+	Admit AdmitConfig
 }
 
 // Server serves restructured virtual files for many apps from one
 // artifact cache.
 type Server struct {
-	order   string
-	rate    int
-	apps    []string
-	mounted map[string]bool
-	cache   *Cache
-	metrics *Metrics
-	handler http.Handler
+	order    string
+	rate     int
+	apps     []string
+	mounted  map[string]bool
+	cache    *Cache
+	store    Store
+	metrics  *Metrics
+	handler  http.Handler
+	draining atomic.Bool
 }
 
 // New builds a server. The cache starts cold; use Warm to prebuild.
@@ -116,7 +132,21 @@ func New(c Config) (*Server, error) {
 		s.mounted[c.DefaultApp] = true
 	}
 	s.cache = NewCache(c.CacheBytes, Build)
+	s.cache.Admit = c.Admit
+	switch {
+	case c.Store != nil:
+		s.store = c.Store
+	case c.StoreDir != "":
+		ds, err := OpenDiskStore(c.StoreDir)
+		if err != nil {
+			return nil, err
+		}
+		s.store = ds
+	}
+	s.cache.Store = s.store
 	s.metrics = newMetrics(s.cache)
+	s.metrics.store = s.store
+	s.metrics.draining = &s.draining
 
 	mux := http.NewServeMux()
 	mux.HandleFunc("/apps", s.handleIndex)
@@ -139,6 +169,24 @@ func New(c Config) (*Server, error) {
 	outer := http.NewServeMux()
 	outer.Handle("/metrics", s.metrics.handler())
 	outer.Handle("/debug/vars", expvarHandler())
+	// Liveness vs readiness: /healthz answers 200 for as long as the
+	// process can answer at all (a draining server is alive); /readyz
+	// flips to 503 the moment drain begins, so load balancers stop
+	// routing new work while in-flight streams finish. Both sit outside
+	// the fault layer — probes must never be chaos-injected.
+	outer.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	outer.HandleFunc("/readyz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if s.draining.Load() {
+			w.Header().Set("Retry-After", "1")
+			http.Error(w, "draining", http.StatusServiceUnavailable)
+			return
+		}
+		fmt.Fprintln(w, "ready")
+	})
 	outer.Handle("/", s.metrics.wrap(fault.Wrap(mux)))
 	s.handler = outer
 	publishExpvars(s.metrics)
@@ -181,10 +229,30 @@ func (s *Server) serveArtifact(w http.ResponseWriter, r *http.Request, name stri
 		http.NotFound(w, r)
 		return
 	}
-	art, _, err := s.cache.Get(r.Context(), Key{App: name, Order: s.order})
+	k := Key{App: name, Order: s.order}
+	// Range requests are demand fetches: the client is executing and
+	// stalled on exactly these bytes, so they take the priority lane
+	// through build admission.
+	priority := r.Header.Get("Range") != ""
+	if s.draining.Load() && s.cache.Peek(k) == nil {
+		// Draining: finish what is resident, start nothing new. A build
+		// begun now could outlive the drain deadline and be cut anyway.
+		shedResponse(w, time.Second)
+		return
+	}
+	get := s.cache.Get
+	if priority {
+		get = s.cache.GetPriority
+	}
+	art, _, err := get(r.Context(), k)
 	if err != nil {
 		if r.Context().Err() != nil {
 			return // client gone; nothing useful to write
+		}
+		var shed *ShedError
+		if errors.As(err, &shed) {
+			shedResponse(w, shed.RetryAfter)
+			return
 		}
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
@@ -202,6 +270,51 @@ func (s *Server) serveArtifact(w http.ResponseWriter, r *http.Request, name stri
 		rw = &pacedWriter{rw: w, rate: s.rate, ctx: r.Context()}
 	}
 	http.ServeContent(rw, r, "", time.Time{}, bytes.NewReader(data))
+}
+
+// shedResponse writes the load-shedding answer: 503 with a Retry-After
+// hint (whole seconds, rounded up, at least 1) that FetchClient honors
+// in place of its computed backoff.
+func shedResponse(w http.ResponseWriter, after time.Duration) {
+	secs := int((after + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(secs))
+	http.Error(w, "server overloaded; retry later", http.StatusServiceUnavailable)
+}
+
+// BeginDrain flips the server into drain mode: /readyz starts failing,
+// and app requests that would need a build are shed — only resident
+// artifacts are served while in-flight streams finish. It is
+// irreversible for the life of the process and safe to call more than
+// once.
+func (s *Server) BeginDrain() { s.draining.Store(true) }
+
+// Draining reports whether BeginDrain has been called.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// ActiveStreams reports app-request bodies currently being written —
+// the streams a drain is waiting on.
+func (s *Server) ActiveStreams() int64 { return s.metrics.activeStreams.Load() }
+
+// Requests reports the total requests counted so far.
+func (s *Server) Requests() int64 { return s.metrics.Requests() }
+
+// Store returns the persistent artifact store backing the cache, or nil.
+func (s *Server) Store() Store { return s.store }
+
+// PersistManifest writes the store's manifest (an inventory of intact
+// entries) when the store supports it; servers call it at drain time so
+// an operator can audit what a dead node had. It is advisory — the
+// store's per-entry headers, not the manifest, are the source of truth
+// on reopen.
+func (s *Server) PersistManifest() error {
+	type manifester interface{ WriteManifest() error }
+	if m, ok := s.store.(manifester); ok {
+		return m.WriteManifest()
+	}
+	return nil
 }
 
 // appStatus is one row of the /apps index.

@@ -322,6 +322,11 @@ func TestFaultWrapsCacheHits(t *testing.T) {
 		"nonstrict_cache_hits_total 1",
 		"nonstrict_cache_misses_total 1",
 		"nonstrict_cache_builds_total 1",
+		"nonstrict_cache_shed_total 0",
+		"nonstrict_cache_breaker_trips_total 0",
+		"nonstrict_store_hits_total 0",
+		"nonstrict_store_misses_total 0",
+		"nonstrict_draining 0",
 		`nonstrict_fault_injections_total{kind="corrupt_byte"}`,
 	} {
 		if !strings.Contains(string(metrics), want) {

@@ -1,0 +1,62 @@
+package server
+
+import (
+	"errors"
+	"sync/atomic"
+)
+
+// Store is the persistent artifact tier under the in-memory cache. A
+// cache miss consults the store before running the build pipeline; a
+// successful build is written back. The contract that makes restarts
+// warm: a Get after process death returns exactly the bytes Put before
+// it — same Data, same TOC, same ETags — or ErrStoreMiss, never a torn
+// or stale mixture. Implementations must be safe for concurrent use.
+type Store interface {
+	// Get returns the stored artifact for k, fully verified, or
+	// ErrStoreMiss when k has no (intact) entry.
+	Get(k Key) (*Artifact, error)
+	// Put durably persists a. A Put that returns nil has survived a
+	// crash at any later instant; a Put interrupted by a crash leaves
+	// the previous entry (or absence) intact.
+	Put(a *Artifact) error
+	// List returns the keys with intact resident entries.
+	List() ([]Key, error)
+	// Delete removes k's entry, if any.
+	Delete(k Key) error
+	// Stats snapshots the store's counters for /metrics.
+	Stats() StoreStats
+}
+
+// ErrStoreMiss reports that a store has no intact entry for a key.
+var ErrStoreMiss = errors.New("server: artifact not in store")
+
+// StoreStats counts one store's traffic. Quarantined is the number of
+// entries that failed verification on load and were moved aside — each
+// one turns into a rebuild, never into served garbage.
+type StoreStats struct {
+	Gets        int64 `json:"gets"`
+	Hits        int64 `json:"hits"`
+	Misses      int64 `json:"misses"`
+	Puts        int64 `json:"puts"`
+	PutErrors   int64 `json:"put_errors"`
+	Quarantined int64 `json:"quarantined"`
+	Entries     int   `json:"entries"`
+	Bytes       int64 `json:"bytes"`
+}
+
+// storeCounters is the atomic half of StoreStats, embedded by
+// implementations.
+type storeCounters struct {
+	gets, hits, misses, puts, putErrors, quarantined atomic.Int64
+}
+
+func (c *storeCounters) snapshot() StoreStats {
+	return StoreStats{
+		Gets:        c.gets.Load(),
+		Hits:        c.hits.Load(),
+		Misses:      c.misses.Load(),
+		Puts:        c.puts.Load(),
+		PutErrors:   c.putErrors.Load(),
+		Quarantined: c.quarantined.Load(),
+	}
+}

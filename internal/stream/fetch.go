@@ -174,11 +174,48 @@ func (c *FetchClient) sleepFn() func(context.Context, time.Duration) error {
 // ErrFetchFailed wraps terminal client failures.
 var ErrFetchFailed = errors.New("stream: fetch failed")
 
+// ErrArtifactChanged reports that the server's artifact was replaced
+// mid-transfer: the ETag pinned on the first response no longer matches,
+// and bytes already delivered came from the old version. Splicing a
+// resume from the new version onto them would hand the loader a
+// frankenstream, so the transfer fails instead; FetchRangeVerified
+// restarts the whole range against the new artifact, and whole-stream
+// callers surface the error.
+var ErrArtifactChanged = errors.New("stream: artifact changed mid-transfer")
+
 // permanentError marks failures no retry can fix (4xx statuses).
 type permanentError struct{ err error }
 
 func (e *permanentError) Error() string { return e.err.Error() }
 func (e *permanentError) Unwrap() error { return e.err }
+
+// retryAfterError is a retryable failure carrying the server's
+// Retry-After hint; the backoff honours the hint instead of its own
+// schedule. A shedding server knows better than our exponential guess
+// when capacity will return.
+type retryAfterError struct {
+	after time.Duration
+	err   error
+}
+
+func (e *retryAfterError) Error() string { return e.err.Error() }
+func (e *retryAfterError) Unwrap() error { return e.err }
+
+// maxRetryAfter caps how long a server-supplied Retry-After can make the
+// client sleep; a misconfigured (or hostile) hint must not park a
+// transfer for minutes.
+const maxRetryAfter = 30 * time.Second
+
+// parseRetryAfter reads an integer-seconds Retry-After value; 0 means
+// absent or unusable (HTTP-date forms are ignored — the servers this
+// client targets send delta-seconds).
+func parseRetryAfter(h string) time.Duration {
+	secs, err := strconv.Atoi(strings.TrimSpace(h))
+	if err != nil || secs < 0 {
+		return 0
+	}
+	return time.Duration(secs) * time.Second
+}
 
 // Open starts streaming url and returns a reader over its bytes. The
 // reader transparently reconnects and resumes from the current offset on
@@ -240,14 +277,22 @@ func (c *FetchClient) FetchRangeVerified(ctx context.Context, url string, from, 
 	var buf bytes.Buffer
 	for fails := 0; ; {
 		buf.Reset()
-		if _, err := c.FetchRange(ctx, url, from, length, &buf); err != nil {
+		_, err := c.FetchRange(ctx, url, from, length, &buf)
+		switch {
+		case err == nil:
+			if p := buf.Bytes(); ChecksumPayload(p) == crc {
+				return p, fails + 1, nil
+			}
+			c.Obs.Emit(obs.CRCFail, url, length, 0)
+		case errors.Is(err, ErrArtifactChanged):
+			// The artifact was replaced under the transfer. The partial
+			// bytes are garbage by definition; restart the whole range,
+			// pinning the new version, exactly as a checksum failure
+			// restarts a poisoned splice.
+		default:
 			return nil, fails + 1, err
 		}
-		if p := buf.Bytes(); ChecksumPayload(p) == crc {
-			return p, fails + 1, nil
-		}
 		fails++
-		c.Obs.Emit(obs.CRCFail, url, length, 0)
 		if fails >= c.maxRetries() {
 			return nil, fails, fmt.Errorf("%w: range [%d,%d) failed verification %d times",
 				ErrStreamIntegrity, from, from+length, fails)
@@ -269,10 +314,11 @@ type resumeReader struct {
 	ctx context.Context
 	url string
 
-	start int64 // first byte of the transfer
-	off   int64 // next byte offset to deliver
-	end   int64 // exclusive end, -1 = to EOF
-	total int64 // total stream size from the server, -1 = unknown
+	start int64  // first byte of the transfer
+	off   int64  // next byte offset to deliver
+	end   int64  // exclusive end, -1 = to EOF
+	total int64  // total stream size from the server, -1 = unknown
+	etag  string // validator pinned from the first response; "" until seen
 
 	body      io.ReadCloser
 	cancelReq context.CancelFunc
@@ -296,6 +342,11 @@ func (r *resumeReader) connect() error {
 			return nil
 		}
 		r.lastErr = err
+		if errors.Is(err, ErrArtifactChanged) {
+			// Bytes already delivered came from a dead artifact; no
+			// reconnect can make the spliced stream coherent.
+			return err
+		}
 		var perm *permanentError
 		if errors.As(err, &perm) {
 			return fmt.Errorf("%w: %v", ErrFetchFailed, err)
@@ -306,6 +357,12 @@ func (r *resumeReader) connect() error {
 		}
 		r.c.retries.Add(1)
 		d := r.c.backoff(r.fails)
+		var ra *retryAfterError
+		if errors.As(err, &ra) && ra.after > 0 {
+			// A shedding server said when to come back; believe it
+			// (within reason) instead of the exponential guess.
+			d = min(ra.after, maxRetryAfter)
+		}
 		if serr := r.c.sleepFn()(r.ctx, d); serr != nil {
 			return serr
 		}
@@ -329,6 +386,13 @@ func (r *resumeReader) tryConnect() error {
 		} else {
 			req.Header.Set("Range", fmt.Sprintf("bytes=%d-", r.off))
 		}
+		if r.etag != "" {
+			// If-Range makes the splice hazard the server's problem: a
+			// matching artifact yields the 206 we asked for, a replaced
+			// one yields a full 200 of the new bytes instead of silently
+			// resuming into them at the wrong offset.
+			req.Header.Set("If-Range", r.etag)
+		}
 	}
 	watchdog := time.AfterFunc(r.c.requestTimeout(), cancel)
 	r.c.requests.Add(1)
@@ -339,14 +403,45 @@ func (r *resumeReader) tryConnect() error {
 		return err
 	}
 
+	respETag := resp.Header.Get("ETag")
 	discard := int64(0) // bytes to skip when the server ignored Range
 	switch resp.StatusCode {
 	case http.StatusOK:
+		if r.etag != "" && respETag != "" && respETag != r.etag {
+			// The artifact changed since we pinned. With nothing
+			// delivered yet the new version is simply adopted (the
+			// discard below skips to our offset within the NEW bytes,
+			// which is a fresh coherent transfer). With old bytes
+			// already handed out, appending new-version bytes would
+			// splice two artifacts into one stream — fail instead.
+			if r.off > r.start {
+				resp.Body.Close()
+				watchdog.Stop()
+				cancel()
+				return fmt.Errorf("%w: pinned %s, server now serves %s", ErrArtifactChanged, r.etag, respETag)
+			}
+			r.etag = respETag
+		}
+		if r.etag == "" {
+			r.etag = respETag
+		}
 		if resp.ContentLength >= 0 {
 			r.total = resp.ContentLength
 		}
 		discard = r.off
 	case http.StatusPartialContent:
+		if r.etag != "" && respETag != "" && respETag != r.etag {
+			// A 206 against a different validator should be impossible
+			// under If-Range; a server (or proxy) that does it anyway is
+			// offering bytes from an artifact we never started.
+			resp.Body.Close()
+			watchdog.Stop()
+			cancel()
+			return fmt.Errorf("%w: 206 with ETag %s, pinned %s", ErrArtifactChanged, respETag, r.etag)
+		}
+		if r.etag == "" {
+			r.etag = respETag
+		}
 		// A 206 whose Content-Range is missing or unparseable gives no
 		// proof the body starts at our resume offset; accepting it could
 		// splice bytes at the wrong position. Treat it as a retryable
@@ -374,6 +469,9 @@ func (r *resumeReader) tryConnect() error {
 		err := fmt.Errorf("stream: server returned %s", resp.Status)
 		if resp.StatusCode >= 400 && resp.StatusCode < 500 && resp.StatusCode != http.StatusTooManyRequests {
 			return &permanentError{err}
+		}
+		if after := parseRetryAfter(resp.Header.Get("Retry-After")); after > 0 {
+			return &retryAfterError{after: after, err: err}
 		}
 		return err
 	}

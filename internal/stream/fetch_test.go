@@ -428,3 +428,163 @@ func TestFetchRangeVerifiedExhaustsBudget(t *testing.T) {
 		t.Fatalf("attempts = %d, want 3", attempts)
 	}
 }
+
+// swappingServer serves one artifact with an ETag and can replace it
+// mid-test. killAfter > 0 makes the FIRST request die abruptly after
+// that many body bytes, swapping in the replacement artifact before the
+// client can resume — the restart-with-new-deploy scenario.
+func swappingServer(t *testing.T, a, b []byte, etagA, etagB string, killAfter int) *httptest.Server {
+	t.Helper()
+	type artifact struct {
+		data []byte
+		etag string
+	}
+	var cur atomic.Pointer[artifact]
+	cur.Store(&artifact{a, etagA})
+	var reqs atomic.Int64
+	mux := http.NewServeMux()
+	mux.HandleFunc("/app", func(w http.ResponseWriter, r *http.Request) {
+		p := cur.Load()
+		w.Header().Set("ETag", p.etag)
+		if reqs.Add(1) == 1 && killAfter > 0 {
+			w.Header().Set("Content-Length", fmt.Sprint(len(p.data)))
+			w.WriteHeader(http.StatusOK)
+			w.Write(p.data[:killAfter])
+			if fl, ok := w.(http.Flusher); ok {
+				fl.Flush()
+			}
+			cur.Store(&artifact{b, etagB}) // the deploy lands in the gap
+			panic(http.ErrAbortHandler)    // and the old process dies
+		}
+		http.ServeContent(w, r, "app.bin", time.Time{}, bytes.NewReader(p.data))
+	})
+	srv := httptest.NewServer(mux)
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+// TestFetchRefusesSpliceAfterSwap is the resume-splicing regression: the
+// artifact is replaced between a mid-stream drop and the resume. The
+// client pinned the first response's ETag and sent If-Range, so the
+// server answers the resume with a full 200 of the NEW artifact — and
+// the client, having already delivered old-artifact bytes, must fail
+// with ErrArtifactChanged rather than splice the two versions together.
+func TestFetchRefusesSpliceAfterSwap(t *testing.T) {
+	dataA := testPayload(8 << 10)
+	dataB := xrand.New(7).Bytes(8 << 10)
+	const kill = 1000
+	srv := swappingServer(t, dataA, dataB, `"aaaa"`, `"bbbb"`, kill)
+
+	c := fastClient(1, nil)
+	var got bytes.Buffer
+	_, err := c.Fetch(context.Background(), srv.URL+"/app", &got)
+	if !errors.Is(err, ErrArtifactChanged) {
+		t.Fatalf("err = %v, want ErrArtifactChanged", err)
+	}
+	// Everything delivered is a clean prefix of the OLD artifact — not
+	// one byte of the new one leaked into the stream.
+	if !bytes.Equal(got.Bytes(), dataA[:got.Len()]) {
+		t.Fatal("delivered bytes are not a clean prefix of the original artifact")
+	}
+	if got.Len() < kill {
+		t.Fatalf("delivered %d bytes, want at least the %d sent before the drop", got.Len(), kill)
+	}
+}
+
+// TestFetchAdoptsSwapBeforeFirstByte: when the artifact changes before
+// any payload byte was delivered, there is nothing to splice — the
+// client adopts the new version and the transfer succeeds with the new
+// bytes.
+func TestFetchAdoptsSwapBeforeFirstByte(t *testing.T) {
+	dataA := testPayload(2048)
+	dataB := xrand.New(9).Bytes(2048)
+	// killAfter is the header-only abort: headers (with ETag A) arrive,
+	// zero body bytes do. Write of 0 bytes then abort:
+	type artifact struct {
+		data []byte
+		etag string
+	}
+	var cur atomic.Pointer[artifact]
+	cur.Store(&artifact{dataA, `"aaaa"`})
+	var reqs atomic.Int64
+	mux := http.NewServeMux()
+	mux.HandleFunc("/app", func(w http.ResponseWriter, r *http.Request) {
+		p := cur.Load()
+		w.Header().Set("ETag", p.etag)
+		if reqs.Add(1) == 1 {
+			w.Header().Set("Content-Length", fmt.Sprint(len(p.data)))
+			w.WriteHeader(http.StatusOK)
+			if fl, ok := w.(http.Flusher); ok {
+				fl.Flush()
+			}
+			cur.Store(&artifact{dataB, `"bbbb"`})
+			panic(http.ErrAbortHandler)
+		}
+		http.ServeContent(w, r, "app.bin", time.Time{}, bytes.NewReader(p.data))
+	})
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	c := fastClient(1, nil)
+	var got bytes.Buffer
+	if _, err := c.Fetch(context.Background(), srv.URL+"/app", &got); err != nil {
+		t.Fatalf("Fetch: %v", err)
+	}
+	if !bytes.Equal(got.Bytes(), dataB) {
+		t.Fatal("client did not adopt the new artifact cleanly")
+	}
+}
+
+// TestFetchRangeVerifiedSurvivesSwap: a demand fetch interrupted by a
+// deploy restarts the whole range against the new artifact with a fresh
+// pin, and verifies against the caller's checksum.
+func TestFetchRangeVerifiedSurvivesSwap(t *testing.T) {
+	dataA := testPayload(8 << 10)
+	dataB := xrand.New(11).Bytes(8 << 10)
+	srv := swappingServer(t, dataA, dataB, `"aaaa"`, `"bbbb"`, 600)
+
+	const from, length = 512, 1024
+	want := dataB[from : from+length]
+	c := fastClient(5, nil)
+	p, attempts, err := c.FetchRangeVerified(context.Background(), srv.URL+"/app", from, length, ChecksumPayload(want))
+	if err != nil {
+		t.Fatalf("FetchRangeVerified: %v", err)
+	}
+	if !bytes.Equal(p, want) {
+		t.Fatal("verified payload is not the new artifact's range")
+	}
+	if attempts != 2 {
+		t.Fatalf("attempts = %d, want 2 (one swap restart + one clean fetch)", attempts)
+	}
+}
+
+// TestFetchHonorsRetryAfter: a shedding server's Retry-After hint
+// replaces the client's computed backoff.
+func TestFetchHonorsRetryAfter(t *testing.T) {
+	data := testPayload(1024)
+	var reqs atomic.Int64
+	mux := http.NewServeMux()
+	mux.HandleFunc("/app", func(w http.ResponseWriter, r *http.Request) {
+		if reqs.Add(1) == 1 {
+			w.Header().Set("Retry-After", "7")
+			http.Error(w, "overloaded", http.StatusServiceUnavailable)
+			return
+		}
+		http.ServeContent(w, r, "app.bin", time.Time{}, bytes.NewReader(data))
+	})
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	var slept []time.Duration
+	c := fastClient(1, &slept)
+	var got bytes.Buffer
+	if _, err := c.Fetch(context.Background(), srv.URL+"/app", &got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.Bytes(), data) {
+		t.Fatal("content mismatch after shed retry")
+	}
+	if len(slept) == 0 || slept[0] != 7*time.Second {
+		t.Fatalf("slept %v, want the server's 7s Retry-After hint first", slept)
+	}
+}
