@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race lint bench-smoke bench-serve live-smoke chaos trace-smoke fleet-smoke check-smoke restart-smoke ci clean
+.PHONY: all build test race lint bench-smoke bench-serve live-smoke chaos trace-smoke fleet-smoke check-smoke restart-smoke cluster-smoke ci clean
 
 all: build
 
@@ -96,7 +96,22 @@ restart-smoke:
 	$(GO) test -race -run 'TestFetchRefusesSpliceAfterSwap|TestFetchAdoptsSwapBeforeFirstByte|TestFetchRangeVerifiedSurvivesSwap|TestFetchHonorsRetryAfter' \
 		-v ./internal/stream
 
-ci: build lint test race bench-smoke bench-serve live-smoke chaos trace-smoke fleet-smoke check-smoke restart-smoke
+# The cluster gate, under -race: the sharded-tier unit and integration
+# tests (ring determinism, cold-storm single build, corrupt-transfer
+# rejection, router failover/splice-refusal, the breaker's concurrent
+# half-open probe race, the Retry-After parser regressions, the CLI
+# round trip), the fleet's kill-one-node scenario, and the
+# BENCH_cluster.json benchmark: cluster-wide builds <= keys under a
+# 3-node cold storm, >= 2.5x streams/sec at 4 egress-capped nodes vs 1,
+# and success_rate == 1 with a node killed mid-stream.
+cluster-smoke:
+	$(GO) test -race -v ./internal/cluster
+	$(GO) test -race -run 'TestParseRetryAfter|TestFetchHonorsRetryAfter' -v ./internal/stream
+	$(GO) test -race -run 'TestBreakerHalfOpenSingleProbeRace' -v ./internal/check
+	$(GO) test -race -run 'TestClusterServeAndFetch' -v ./cmd/nonstrict
+	$(GO) test -race -run 'TestFleetClusterKill|TestBenchClusterSmoke' -v ./internal/fleet
+
+ci: build lint test race bench-smoke bench-serve live-smoke chaos trace-smoke fleet-smoke check-smoke restart-smoke cluster-smoke
 
 clean:
 	$(GO) clean ./...

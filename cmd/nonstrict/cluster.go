@@ -1,0 +1,131 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"sort"
+	"strings"
+	"time"
+
+	"nonstrict/internal/cluster"
+	"nonstrict/internal/server"
+)
+
+// parsePeers reads a "-peers name=url,name=url" membership list.
+func parsePeers(s string) (map[string]string, error) {
+	peers := make(map[string]string)
+	if strings.TrimSpace(s) == "" {
+		return peers, nil
+	}
+	for _, part := range strings.Split(s, ",") {
+		name, url, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok || name == "" || url == "" {
+			return nil, fmt.Errorf("bad peer %q, want name=url", part)
+		}
+		if _, dup := peers[name]; dup {
+			return nil, fmt.Errorf("duplicate peer %q", name)
+		}
+		peers[name] = strings.TrimRight(url, "/")
+	}
+	return peers, nil
+}
+
+// newClusterNode wraps a node-local server config into a cluster
+// member: the ring spans self plus every peer, and the server's build
+// path becomes build-or-peer-fill (see internal/cluster).
+func newClusterNode(name, peerList string, ringSeed uint64, vnodes int, sc server.Config) (*cluster.Node, error) {
+	if name == "" {
+		return nil, fmt.Errorf("cluster mode needs -node-name")
+	}
+	peers, err := parsePeers(peerList)
+	if err != nil {
+		return nil, err
+	}
+	if _, self := peers[name]; self {
+		return nil, fmt.Errorf("peer list contains this node (%s); list only the others", name)
+	}
+	members := []string{name}
+	for n := range peers {
+		members = append(members, n)
+	}
+	sort.Strings(members)
+	ring, err := cluster.NewRing(members, vnodes, ringSeed)
+	if err != nil {
+		return nil, err
+	}
+	return cluster.NewNode(cluster.NodeConfig{
+		Name:   name,
+		Ring:   ring,
+		Peers:  peers,
+		Server: sc,
+	})
+}
+
+// cmdRouter runs the consistent-hash router: a thin streaming proxy
+// that sends each artifact request to the node owning its (app, order)
+// key, failing over along the ring — but only before the first body
+// byte; mid-body upstream death severs the client connection so its
+// own If-Range resume (pinned to the artifact's ETag, identical on
+// every node because builds are deterministic) decides how to continue.
+func cmdRouter(ctx context.Context, args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("router", flag.ContinueOnError)
+	addr := fs.String("addr", "127.0.0.1:0", "listen address")
+	peerList := fs.String("peers", "", "cluster members as name=url,name=url (required)")
+	ringSeed := fs.Uint64("ring-seed", 0, "consistent-hash ring seed (must match the nodes')")
+	vnodes := fs.Int("vnodes", 0, "virtual nodes per member (0 = default; must match the nodes')")
+	order := fs.String("order", server.OrderStatic, "restructuring policy the nodes serve: scg, train, test")
+	cooldown := fs.Duration("cooldown", 0, "how long a failed node stays skipped (0 = default)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	peers, err := parsePeers(*peerList)
+	if err != nil {
+		return fmt.Errorf("router: %w", err)
+	}
+	if len(peers) == 0 {
+		return fmt.Errorf("router: usage: nonstrict router -peers name=url,... [-addr host:port] [-ring-seed N] [-vnodes N] [-order P] [-cooldown D]")
+	}
+	members := make([]string, 0, len(peers))
+	for n := range peers {
+		members = append(members, n)
+	}
+	sort.Strings(members)
+	ring, err := cluster.NewRing(members, *vnodes, *ringSeed)
+	if err != nil {
+		return err
+	}
+	rt, err := cluster.NewRouter(cluster.RouterConfig{
+		Ring:     ring,
+		Nodes:    peers,
+		Order:    *order,
+		Cooldown: *cooldown,
+	})
+	if err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "routing %d nodes (%s) at http://%s/apps/{name}/app (order=%s, ring seed %#x)\n",
+		len(members), strings.Join(members, " "), ln.Addr(), *order, *ringSeed)
+	hs := &http.Server{Handler: rt}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+		sctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		hs.Shutdown(sctx)
+		st := rt.Stats()
+		fmt.Fprintf(out, "router drained: %d proxied, %d failovers, %d mid-body aborts\n",
+			st.Proxied, st.Failovers, st.Aborts)
+		return ctx.Err()
+	}
+}

@@ -14,6 +14,7 @@
 //	nonstrict ablate               print the ablation studies
 //	nonstrict sim <name> [flags]   simulate one configuration
 //	nonstrict serve <name>         publish the benchmarks as HTTP streams
+//	nonstrict router [flags]       route a sharded cluster of serve nodes
 //	nonstrict fetch <url> -name N  load it non-strictly and run it
 //	nonstrict run-remote <url> -name N
 //	                               execute it while it streams in
@@ -59,7 +60,14 @@ commands:
   serve <name> [flags] publish every benchmark as non-strict HTTP streams
                        (multi-tenant under /apps/{name}/app, cached per
                        (app, order) key; <name> also aliased at /app;
-                       -order scg|train|test, -cache-bytes N)
+                       -order scg|train|test, -cache-bytes N; with
+                       -cluster -node-name N -peers name=url,... the
+                       server joins a sharded tier: it builds only the
+                       keys it owns and peer-fills the rest)
+  router [flags]       route requests to a sharded cluster of serve
+                       -cluster nodes by consistent hash of the
+                       (app, order) key (-peers name=url,...,
+                       -ring-seed N, -vnodes N, -order P, -cooldown D)
   fetch <url> -name N  load a served benchmark non-strictly and run it
   run-remote <url> -name N
                        execute a served benchmark WHILE it streams in,
@@ -127,6 +135,8 @@ func dispatch(ctx context.Context, cmd string, args []string, out io.Writer) err
 		return cmdSim(args, out)
 	case "serve":
 		return cmdServe(ctx, args, out)
+	case "router":
+		return cmdRouter(ctx, args, out)
 	case "fetch":
 		return cmdFetch(ctx, args, out)
 	case "run-remote":

@@ -11,6 +11,8 @@ import (
 	"strings"
 	"testing"
 
+	"nonstrict/internal/cluster"
+	"nonstrict/internal/server"
 	"nonstrict/internal/stream"
 )
 
@@ -513,5 +515,114 @@ func TestCheck(t *testing.T) {
 	}
 	if err := captureErr(t, "check", "-ops", "nope"); err == nil {
 		t.Error("check with a malformed flag succeeded")
+	}
+}
+
+// TestClusterServeAndFetch is the CLI cluster round trip: two members
+// built exactly as `serve -cluster` builds them, a router over both,
+// and a fetch of every benchmark through the router. Each key must be
+// built by its owner only; the other member peer-fills on demand.
+func TestClusterServeAndFetch(t *testing.T) {
+	lnA, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lnB, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	urlA := "http://" + lnA.Addr().String()
+	urlB := "http://" + lnB.Addr().String()
+
+	nodeA, err := newClusterNode("a", "b="+urlB, 0x90, 0, server.Config{DefaultApp: "Hanoi"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodeB, err := newClusterNode("b", "a="+urlA, 0x90, 0, server.Config{DefaultApp: "Hanoi"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hsA := &http.Server{Handler: nodeA.Handler()}
+	hsB := &http.Server{Handler: nodeB.Handler()}
+	go hsA.Serve(lnA)
+	go hsB.Serve(lnB)
+	defer hsA.Close()
+	defer hsB.Close()
+
+	ring := nodeA.Ring()
+	rt, err := cluster.NewRouter(cluster.RouterConfig{
+		Ring:  ring,
+		Nodes: map[string]string{"a": urlA, "b": urlB},
+		Order: nodeA.Server().Order(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lnR, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hsR := &http.Server{Handler: rt}
+	go hsR.Serve(lnR)
+	defer hsR.Close()
+
+	// Fetch through the router: whatever node owns Hanoi builds it; a
+	// second fetch of the same key stays a cache hit everywhere.
+	routerURL := "http://" + lnR.Addr().String()
+	out := capture(t, "fetch", routerURL+"/apps/Hanoi/app", "-name", "Hanoi")
+	if !strings.Contains(out, "self-check: ok") {
+		t.Errorf("fetch through router:\n%s", out)
+	}
+	key := server.Key{App: "Hanoi", Order: nodeA.Server().Order()}
+	owner := ring.Owner(key.String())
+	builds := map[string]int64{
+		"a": nodeA.Server().CacheStats().Builds,
+		"b": nodeB.Server().CacheStats().Builds,
+	}
+	for name, n := range builds {
+		want := int64(0)
+		if name == owner {
+			want = 1
+		}
+		if n != want {
+			t.Errorf("node %s: %d builds, want %d (owner is %s)", name, n, want, owner)
+		}
+	}
+
+	// Hit the NON-owner directly: it must peer-fill from the owner, not
+	// run the pipeline.
+	nonOwner, nonOwnerURL := "a", urlA
+	filled := nodeA
+	if owner == "a" {
+		nonOwner, nonOwnerURL = "b", urlB
+		filled = nodeB
+	}
+	out = capture(t, "fetch", nonOwnerURL+"/apps/Hanoi/app", "-name", "Hanoi")
+	if !strings.Contains(out, "self-check: ok") {
+		t.Errorf("fetch from non-owner:\n%s", out)
+	}
+	st := filled.Server().CacheStats()
+	if st.Builds != 0 || st.PeerFills != 1 {
+		t.Errorf("non-owner %s: builds=%d peer_fills=%d, want 0/1", nonOwner, st.Builds, st.PeerFills)
+	}
+	if n := filled.FallbackBuilds(); n != 0 {
+		t.Errorf("non-owner %s: %d fallback builds with the owner healthy", nonOwner, n)
+	}
+
+	// Flag and membership error paths.
+	if err := captureErr(t, "router"); err == nil {
+		t.Error("router without -peers succeeded")
+	}
+	if err := captureErr(t, "router", "-peers", "bogus"); err == nil {
+		t.Error("router with malformed -peers succeeded")
+	}
+	if _, err := newClusterNode("", "b="+urlB, 0, 0, server.Config{}); err == nil {
+		t.Error("cluster node without -node-name succeeded")
+	}
+	if _, err := newClusterNode("a", "a="+urlA, 0, 0, server.Config{}); err == nil {
+		t.Error("cluster node listing itself as a peer succeeded")
+	}
+	if _, err := parsePeers("a=1,a=2"); err == nil {
+		t.Error("duplicate peer name parsed")
 	}
 }

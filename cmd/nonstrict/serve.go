@@ -46,8 +46,13 @@ func cmdServe(ctx context.Context, args []string, out io.Writer) error {
 	garbageRangeEvery := fs.Int64("garbage-range-every", 0, "answer every Nth Range request with a bogus 206 (0 = never)")
 	flakyTOC := fs.Int("flaky-toc", 0, "fail the first N unit-table requests with a 503 (0 = never)")
 	seed := fs.Uint64("seed", 0, "seed for corruption masks and garbage bytes (0 = fixed default)")
+	clusterMode := fs.Bool("cluster", false, "join a sharded cluster: build only owned keys, peer-fill the rest")
+	nodeName := fs.String("node-name", "", "this member's name in the ring (required with -cluster)")
+	peerList := fs.String("peers", "", "other members as name=url,name=url (with -cluster)")
+	ringSeed := fs.Uint64("ring-seed", 0, "consistent-hash ring seed (must match every member and the router)")
+	vnodes := fs.Int("vnodes", 0, "virtual nodes per member (0 = default; must match every member)")
 	if len(args) == 0 || strings.HasPrefix(args[0], "-") {
-		return fmt.Errorf("serve: usage: nonstrict serve <name> [-addr host:port] [-rate N] [-order P] [-cache-bytes N] [-store-dir DIR] [-drain-timeout D] [-admit] [-max-builds N] [-max-queue N] [-drop-every N] [-latency D] [-corrupt-every N] [-stall-after N] [-stall-for D] [-truncate-after N] [-garbage-range-every N] [-flaky-toc N] [-seed N]")
+		return fmt.Errorf("serve: usage: nonstrict serve <name> [-addr host:port] [-rate N] [-order P] [-cache-bytes N] [-store-dir DIR] [-drain-timeout D] [-admit] [-max-builds N] [-max-queue N] [-cluster -node-name N -peers name=url,... [-ring-seed N] [-vnodes N]] [-drop-every N] [-latency D] [-corrupt-every N] [-stall-after N] [-stall-for D] [-truncate-after N] [-garbage-range-every N] [-flaky-toc N] [-seed N]")
 	}
 	name := args[0]
 	if err := fs.Parse(args[1:]); err != nil {
@@ -68,7 +73,7 @@ func cmdServe(ctx context.Context, args []string, out io.Writer) error {
 		FlakyTOC:          *flakyTOC,
 		Seed:              *seed,
 	}
-	srv, err := server.New(server.Config{
+	sc := server.Config{
 		DefaultApp: name,
 		Order:      *order,
 		CacheBytes: *cacheBytes,
@@ -80,16 +85,35 @@ func cmdServe(ctx context.Context, args []string, out io.Writer) error {
 			MaxBuilds: *maxBuilds,
 			MaxQueue:  *maxQueue,
 		},
-	})
-	if err != nil {
-		return err
 	}
-	size, err := srv.Warm(ctx, name)
-	if err != nil {
-		return err
+	var srv *server.Server
+	var handler http.Handler
+	if *clusterMode {
+		node, err := newClusterNode(*nodeName, *peerList, *ringSeed, *vnodes, sc)
+		if err != nil {
+			return fmt.Errorf("serve: %w", err)
+		}
+		srv = node.Server()
+		handler = node.Handler()
+		fmt.Fprintf(out, "cluster member %s over ring %v (seed %#x); non-owned keys peer-fill on demand\n",
+			node.Name(), node.Ring().Nodes(), *ringSeed)
+	} else {
+		s, err := server.New(sc)
+		if err != nil {
+			return err
+		}
+		srv = s
+		handler = s.Handler()
+		// Prewarm only outside cluster mode: a cluster member's warm
+		// path would peer-fill, and at boot its peers may not be
+		// listening yet — let the first request (or the router) drive it.
+		size, err := srv.Warm(ctx, name)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "serving %s (%d stream bytes) at http://%s/app\n", name, size, ln.Addr())
 	}
-	hs := &http.Server{Handler: srv.Handler()}
-	fmt.Fprintf(out, "serving %s (%d stream bytes) at http://%s/app\n", name, size, ln.Addr())
+	hs := &http.Server{Handler: handler}
 	if *storeDir != "" {
 		fmt.Fprintf(out, "artifact store at %s (restarts serve without rebuilding)\n", *storeDir)
 	}

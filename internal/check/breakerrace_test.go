@@ -1,0 +1,112 @@
+package check
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"nonstrict/internal/server"
+)
+
+// TestBreakerHalfOpenSingleProbeRace is the concurrent complement of
+// the sequential interleaving enumerator: the enumerator proves the
+// single-probe property over every bounded *serialized* schedule, but
+// says nothing about truly simultaneous Allow calls hitting the
+// half-open transition from multiple goroutines. Here every round
+// releases a pack of goroutines at once against a breaker whose
+// cooldown has just elapsed; exactly one may win the probe slot, every
+// loser must get a positive Retry-After, and that must hold again after
+// the winner cancels its claim (CancelProbe hands the slot to exactly
+// one of the next wave, not to all of them). Run under -race this also
+// shakes out unsynchronized state access on the transition paths.
+func TestBreakerHalfOpenSingleProbeRace(t *testing.T) {
+	const (
+		threshold = 3
+		cooldown  = time.Second
+		racers    = 32
+		rounds    = 20
+	)
+	b := server.NewBreaker(threshold, cooldown)
+	var nanos atomic.Int64
+	nanos.Store(1)
+	b.SetClock(func() time.Time { return time.Unix(0, nanos.Load()) })
+
+	// race releases `racers` goroutines against Allow at once and
+	// returns how many were admitted, failing if any shed caller was
+	// sent away without a positive Retry-After hint.
+	race := func() int {
+		var (
+			start = make(chan struct{})
+			wg    sync.WaitGroup
+			wins  atomic.Int64
+		)
+		for i := 0; i < racers; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				<-start
+				ok, retryAfter := b.Allow()
+				if ok {
+					wins.Add(1)
+					return
+				}
+				if retryAfter <= 0 {
+					t.Errorf("shed caller got Retry-After %v, want > 0", retryAfter)
+				}
+			}()
+		}
+		close(start)
+		wg.Wait()
+		return int(wins.Load())
+	}
+
+	// Trip the breaker once to start every round from open.
+	for i := 0; i < threshold; i++ {
+		b.Record(true)
+	}
+	if st := b.State(); st != server.BreakerOpen {
+		t.Fatalf("state after %d failures = %v, want open", threshold, st)
+	}
+
+	for round := 0; round < rounds; round++ {
+		// The cooldown elapses; the whole pack arrives at once.
+		nanos.Add(int64(cooldown) + 1)
+		if wins := race(); wins != 1 {
+			t.Fatalf("round %d: %d goroutines won the half-open probe, want exactly 1", round, wins)
+		}
+		if round%2 == 1 {
+			// The winner's build never starts; its canceled claim must
+			// free the slot for exactly one goroutine of the next wave —
+			// the breaker is half-open-idle now, no cooldown involved.
+			b.CancelProbe()
+			if wins := race(); wins != 1 {
+				t.Fatalf("round %d: %d winners after CancelProbe, want exactly 1", round, wins)
+			}
+		}
+		// The probe fails, re-opening the breaker for the next round.
+		b.Record(true)
+		if st := b.State(); st != server.BreakerOpen {
+			t.Fatalf("round %d: state after failed probe = %v, want open", round, st)
+		}
+	}
+	// Every round tripped the breaker exactly once (plus the initial
+	// trip); a racy double-probe would double-count here.
+	if got, want := b.Trips(), int64(rounds+1); got != want {
+		t.Fatalf("trips = %d, want %d", got, want)
+	}
+
+	// A successful probe closes the breaker and the floodgates open:
+	// the next pack must be admitted in full.
+	nanos.Add(int64(cooldown) + 1)
+	if wins := race(); wins != 1 {
+		t.Fatalf("final probe round: %d winners, want 1", wins)
+	}
+	b.Record(false)
+	if st := b.State(); st != server.BreakerClosed {
+		t.Fatalf("state after successful probe = %v, want closed", st)
+	}
+	if wins := race(); wins != racers {
+		t.Fatalf("closed breaker admitted %d of %d callers", wins, racers)
+	}
+}

@@ -1,0 +1,112 @@
+package cluster
+
+import (
+	"net/http"
+	"sync"
+	"time"
+)
+
+// EgressLimiter is a token-bucket cap on one node's total outbound
+// body bytes per second — the stand-in for a real node's NIC when the
+// whole cluster runs inside one process. The scaling benchmark needs
+// it to be honest: without a per-node egress bound, N in-process
+// "nodes" share one machine's memory bandwidth and the 1→N ladder
+// measures nothing. With it, each node has fixed serving capacity and
+// streams/sec scales with node count exactly as far as the sharding
+// actually spreads the load.
+//
+// All streams through one node share the bucket, so concurrent
+// responses divide the node's capacity — contention, not per-stream
+// shaping (stream.LinkClass models the client's last mile; this models
+// the server's uplink).
+type EgressLimiter struct {
+	rate  float64 // bytes per second
+	burst float64
+
+	mu     sync.Mutex
+	tokens float64
+	last   time.Time
+}
+
+// NewEgressLimiter builds a limiter at rate bytes/second. rate <= 0
+// returns nil, and a nil limiter imposes no cap.
+func NewEgressLimiter(rate int) *EgressLimiter {
+	if rate <= 0 {
+		return nil
+	}
+	burst := float64(rate) / 10
+	if burst < 16<<10 {
+		burst = 16 << 10
+	}
+	return &EgressLimiter{rate: float64(rate), burst: burst, tokens: burst, last: time.Now()}
+}
+
+// take blocks until n bytes of egress budget are available.
+func (e *EgressLimiter) take(n int) {
+	for {
+		e.mu.Lock()
+		now := time.Now()
+		e.tokens += now.Sub(e.last).Seconds() * e.rate
+		e.last = now
+		if e.tokens > e.burst {
+			e.tokens = e.burst
+		}
+		if e.tokens >= float64(n) {
+			e.tokens -= float64(n)
+			e.mu.Unlock()
+			return
+		}
+		wait := time.Duration((float64(n) - e.tokens) / e.rate * float64(time.Second))
+		e.mu.Unlock()
+		time.Sleep(wait)
+	}
+}
+
+// Wrap caps h's response bodies under the bucket. A nil limiter
+// returns h unchanged.
+func (e *EgressLimiter) Wrap(h http.Handler) http.Handler {
+	if e == nil {
+		return h
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		h.ServeHTTP(&egressWriter{rw: w, lim: e}, r)
+	})
+}
+
+// egressWriter charges every chunk to the bucket before writing it,
+// flushing after each so downstream consumers see paced progress.
+type egressWriter struct {
+	rw  http.ResponseWriter
+	lim *EgressLimiter
+}
+
+func (w *egressWriter) Header() http.Header  { return w.rw.Header() }
+func (w *egressWriter) WriteHeader(code int) { w.rw.WriteHeader(code) }
+
+func (w *egressWriter) Write(b []byte) (int, error) {
+	const chunk = 16 << 10
+	fl, _ := w.rw.(http.Flusher)
+	written := 0
+	for off := 0; off < len(b); off += chunk {
+		end := off + chunk
+		if end > len(b) {
+			end = len(b)
+		}
+		w.lim.take(end - off)
+		n, err := w.rw.Write(b[off:end])
+		written += n
+		if err != nil {
+			return written, err
+		}
+		if fl != nil {
+			fl.Flush()
+		}
+	}
+	return written, nil
+}
+
+func (w *egressWriter) Flush() {
+	if fl, ok := w.rw.(http.Flusher); ok {
+		fl.Flush()
+	}
+}

@@ -1,0 +1,106 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestRingDeterministic pins the placement contract: ownership depends
+// only on (names, vnodes, seed), never on input order or which process
+// computes it.
+func TestRingDeterministic(t *testing.T) {
+	a, err := NewRing([]string{"node0", "node1", "node2"}, 64, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewRing([]string{"node2", "node0", "node1"}, 64, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		key := fmt.Sprintf("app%d/train", i)
+		if a.Owner(key) != b.Owner(key) {
+			t.Fatalf("key %s: owner %s vs %s under permuted membership", key, a.Owner(key), b.Owner(key))
+		}
+		pa, pb := a.Pref(key), b.Pref(key)
+		if fmt.Sprint(pa) != fmt.Sprint(pb) {
+			t.Fatalf("key %s: pref %v vs %v", key, pa, pb)
+		}
+		if len(pa) != 3 || pa[0] != a.Owner(key) {
+			t.Fatalf("key %s: pref %v does not lead with owner %s over all members", key, pa, a.Owner(key))
+		}
+		seen := map[string]bool{}
+		for _, n := range pa {
+			if seen[n] {
+				t.Fatalf("key %s: pref %v repeats %s", key, pa, n)
+			}
+			seen[n] = true
+		}
+	}
+}
+
+// TestRingSeedMoves guards against the seed being ignored: different
+// seeds must produce different placements somewhere.
+func TestRingSeedMoves(t *testing.T) {
+	names := []string{"node0", "node1", "node2", "node3"}
+	a, _ := NewRing(names, 64, 1)
+	b, _ := NewRing(names, 64, 2)
+	moved := 0
+	for i := 0; i < 100; i++ {
+		key := fmt.Sprintf("app%d/scg", i)
+		if a.Owner(key) != b.Owner(key) {
+			moved++
+		}
+	}
+	if moved == 0 {
+		t.Fatal("changing the ring seed moved no keys")
+	}
+}
+
+// TestRingBalance checks virtual nodes do their job: across many keys,
+// no member owns a wildly disproportionate share.
+func TestRingBalance(t *testing.T) {
+	names := []string{"node0", "node1", "node2", "node3"}
+	r, err := NewRing(names, 0, 7) // default vnodes
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int{}
+	const keys = 4000
+	for i := 0; i < keys; i++ {
+		counts[r.Owner(fmt.Sprintf("app%d/train", i))]++
+	}
+	for _, n := range names {
+		share := float64(counts[n]) / keys
+		if share < 0.10 || share > 0.45 {
+			t.Fatalf("node %s owns %.1f%% of keys (counts %v); virtual nodes are not balancing", n, 100*share, counts)
+		}
+	}
+}
+
+// TestRingStability checks consistent hashing's point: removing one
+// member only moves the keys it owned.
+func TestRingStability(t *testing.T) {
+	full, _ := NewRing([]string{"node0", "node1", "node2", "node3"}, 64, 9)
+	less, _ := NewRing([]string{"node0", "node1", "node2"}, 64, 9)
+	for i := 0; i < 500; i++ {
+		key := fmt.Sprintf("app%d/test", i)
+		was, now := full.Owner(key), less.Owner(key)
+		if was != "node3" && was != now {
+			t.Fatalf("key %s moved %s→%s though its owner stayed a member", key, was, now)
+		}
+	}
+}
+
+// TestRingRejectsBadMembership pins the constructor's validation.
+func TestRingRejectsBadMembership(t *testing.T) {
+	if _, err := NewRing(nil, 8, 0); err == nil {
+		t.Fatal("empty membership accepted")
+	}
+	if _, err := NewRing([]string{"a", "a"}, 8, 0); err == nil {
+		t.Fatal("duplicate member accepted")
+	}
+	if _, err := NewRing([]string{"a", ""}, 8, 0); err == nil {
+		t.Fatal("empty member name accepted")
+	}
+}

@@ -1,0 +1,64 @@
+package fleet
+
+import "encoding/json"
+
+// ClusterSchema identifies the BENCH_cluster.json layout; bump on
+// breaking change so CI schema checks fail loudly instead of
+// misreading.
+const ClusterSchema = "cluster/v1"
+
+// ClusterBenchReport is the BENCH_cluster.json document: three phases
+// of proof for the sharded tier. Storm shows a cluster-wide cold storm
+// costs one build per key; Scaling shows streams/sec growing
+// near-linearly from 1 to 4 egress-capped nodes; Kill shows the fleet
+// surviving a mid-stream node death with success rate 1.
+type ClusterBenchReport struct {
+	SchemaVersion string   `json:"schema"`
+	Seed          uint64   `json:"seed"`
+	Order         string   `json:"order"`
+	Apps          []string `json:"apps"`
+	// DurationMs is the wall-clock length of the whole benchmark.
+	DurationMs float64        `json:"duration_ms"`
+	Storm      StormReport    `json:"storm"`
+	Scaling    []ScalingPoint `json:"scaling"`
+	// ScalingSpeedup4x is streams/sec at the largest ladder rung over
+	// streams/sec at one node — the headline scaling number CI gates on
+	// (>= 2.5x for 4 nodes).
+	ScalingSpeedup4x float64 `json:"scaling_speedup_4x"`
+	// Kill is the fleet cluster scenario's proof block (node killed
+	// mid-stream, clients resume through the router).
+	Kill *ClusterReport `json:"kill"`
+}
+
+// StormReport is the cold-storm phase: every key cold, many concurrent
+// clients against every node at once.
+type StormReport struct {
+	Nodes          int   `json:"nodes"`
+	ClientsPerNode int   `json:"clients_per_node"`
+	Keys           int   `json:"keys"`
+	ClusterBuilds  int64 `json:"cluster_builds"`
+	PeerFills      int64 `json:"peer_fills"`
+	FallbackBuilds int64 `json:"fallback_builds"`
+	// DuplicateBuilds is ClusterBuilds minus Keys, clamped at zero —
+	// the number the whole design exists to hold at 0.
+	DuplicateBuilds int64   `json:"duplicate_builds"`
+	WallMs          float64 `json:"wall_ms"`
+}
+
+// ScalingPoint is one rung of the egress-capped scaling ladder.
+type ScalingPoint struct {
+	Nodes int `json:"nodes"`
+	// Streams is the fixed total stream count served at this rung.
+	Streams int `json:"streams"`
+	// EgressBytesPerSec is each node's outbound bandwidth cap — the
+	// per-node capacity the rung holds constant while node count grows.
+	EgressBytesPerSec int     `json:"egress_bytes_per_sec"`
+	StreamsPerSec     float64 `json:"streams_per_sec"`
+	BytesPerSec       float64 `json:"bytes_per_sec"`
+	WallMs            float64 `json:"wall_ms"`
+}
+
+// JSON renders the report with stable formatting.
+func (r *ClusterBenchReport) JSON() ([]byte, error) {
+	return json.MarshalIndent(r, "", "  ")
+}

@@ -84,6 +84,40 @@ type Config struct {
 	// severed) and a fresh server boots over the same persistent store,
 	// so the surviving clients must resume against it (zero = none).
 	Restart RestartConfig
+	// Cluster runs the fleet against an N-node sharded cluster behind
+	// the consistent-hash router instead of a single server (zero =
+	// single server). Mutually exclusive with Restart.
+	Cluster ClusterFleetConfig
+}
+
+// ClusterFleetConfig configures the cluster scenario: the fleet's
+// clients dial the router (over the same shaped in-process listener a
+// single-server fleet uses), the router proxies to N real nodes over
+// loopback TCP, and each key is built exactly once cluster-wide with
+// every other node peer-filling.
+type ClusterFleetConfig struct {
+	// Enabled turns the scenario on.
+	Enabled bool
+	// Nodes is the member count (default 3).
+	Nodes int
+	// VNodes and RingSeed parameterize the consistent-hash ring
+	// (defaults: cluster.DefaultVNodes and 0).
+	VNodes   int
+	RingSeed uint64
+	// KillNode, when set, crashes the node owning the first app's key
+	// once KillAfterFraction of the fleet has finished (default 0.25) —
+	// the mid-stream node-death scenario. Surviving clients must resume
+	// through the router against the replicas.
+	KillNode          bool
+	KillAfterFraction float64
+	// StoreRoot is the directory under which each node keeps its
+	// crash-safe artifact store. Empty = a private temp dir, removed
+	// after the run.
+	StoreRoot string
+	// EgressBytesPerSec caps each node's outbound bandwidth (0 = no
+	// cap); the scaling benchmark sets it so in-process nodes model
+	// fixed per-node serving capacity.
+	EgressBytesPerSec int
 }
 
 // RestartConfig configures the mid-run server crash-restart.
@@ -125,6 +159,14 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Restart.Enabled && c.Restart.AfterFraction <= 0 {
 		c.Restart.AfterFraction = 0.5
+	}
+	if c.Cluster.Enabled {
+		if c.Cluster.Nodes <= 0 {
+			c.Cluster.Nodes = 3
+		}
+		if c.Cluster.KillNode && c.Cluster.KillAfterFraction <= 0 {
+			c.Cluster.KillAfterFraction = 0.25
+		}
 	}
 	return c
 }
@@ -266,6 +308,12 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 	if len(cfg.Apps) == 0 {
 		return nil, errors.New("fleet: no apps configured")
 	}
+	if cfg.Cluster.Enabled {
+		if cfg.Restart.Enabled {
+			return nil, errors.New("fleet: the Restart and Cluster scenarios are mutually exclusive")
+		}
+		return runCluster(ctx, cfg)
+	}
 
 	storeDir := cfg.Restart.StoreDir
 	if cfg.Restart.Enabled && storeDir == "" {
@@ -371,6 +419,38 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 		close(restartDone)
 	}
 
+	driveClients(ctx, cfg, agg, models, ln, sem)
+	close(runOver)
+	<-restartDone
+	if restartErr != nil {
+		return nil, restartErr
+	}
+
+	final := cur.Load()
+	rep := agg.report(cfg, final.CacheStats(), time.Since(start))
+	if restart != nil {
+		// The restart proof fields: the first incarnation built every
+		// artifact exactly once; the second must have built nothing —
+		// every byte it served came from the persistent store.
+		post := final.CacheStats()
+		restart.PreBuilds = srv.CacheStats().Builds
+		restart.PostBuilds = post.Builds
+		restart.PostStoreHits = post.StoreHits
+		done, failed := agg.outcomes()
+		if done > 0 {
+			restart.SuccessRate = float64(done-failed) / float64(done)
+		}
+		restart.P99FirstInvocationMs = quantiles(agg.allFirstMs()).P99
+		rep.Restart = restart
+	}
+	return rep, nil
+}
+
+// driveClients launches every simulated client on its seeded arrival
+// schedule and waits for the whole fleet to finish. The single-server
+// and cluster paths share it verbatim: a client never knows whether
+// "http://fleet" is one server or a router over N of them.
+func driveClients(ctx context.Context, cfg Config, agg *aggregator, models map[string]*appModel, ln *memListener, sem chan struct{}) {
 	var wg sync.WaitGroup
 	for i := 0; i < cfg.Clients; i++ {
 		linkIdx := i % len(cfg.Links)
@@ -405,30 +485,6 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 		}(linkIdx, offset)
 	}
 	wg.Wait()
-	close(runOver)
-	<-restartDone
-	if restartErr != nil {
-		return nil, restartErr
-	}
-
-	final := cur.Load()
-	rep := agg.report(cfg, final.CacheStats(), time.Since(start))
-	if restart != nil {
-		// The restart proof fields: the first incarnation built every
-		// artifact exactly once; the second must have built nothing —
-		// every byte it served came from the persistent store.
-		post := final.CacheStats()
-		restart.PreBuilds = srv.CacheStats().Builds
-		restart.PostBuilds = post.Builds
-		restart.PostStoreHits = post.StoreHits
-		done, failed := agg.outcomes()
-		if done > 0 {
-			restart.SuccessRate = float64(done-failed) / float64(done)
-		}
-		restart.P99FirstInvocationMs = quantiles(agg.allFirstMs()).P99
-		rep.Restart = restart
-	}
-	return rep, nil
 }
 
 // clientSeed derives a per-client seed stream (splitmix64 finalizer),

@@ -78,7 +78,12 @@ func TestFleetRuns(t *testing.T) {
 	if total != 24 {
 		t.Fatalf("%d clients reported, want 24", total)
 	}
-	// Every artifact was prebuilt exactly once.
+	// Every artifact was prebuilt exactly once. Validate is the
+	// topology-aware form of the old builds == apps assertion (a cluster
+	// run bounds cluster-wide builds by the key count instead).
+	if err := rep.Validate(); err != nil {
+		t.Fatal(err)
+	}
 	if rep.Cache.Builds != int64(len(rep.Apps)) {
 		t.Fatalf("%d builds for %d apps", rep.Cache.Builds, len(rep.Apps))
 	}
@@ -235,6 +240,59 @@ func TestFleetRestart(t *testing.T) {
 	}
 	if rr.P99FirstInvocationMs <= 0 {
 		t.Fatalf("p99 first-invocation across restart = %v, want > 0", rr.P99FirstInvocationMs)
+	}
+}
+
+// TestFleetClusterKill is the fleet-scale cluster scenario: clients
+// stream through the consistent-hash router over 3 real nodes, one
+// node (the first app's owner) is crashed mid-run, and every client
+// must still finish clean by resuming against the replicas. The
+// cluster-wide build count stays bounded by the key count — peer fills
+// and stores, never duplicate pipeline runs.
+func TestFleetClusterKill(t *testing.T) {
+	cfg := fastConfig(t, 16)
+	cfg.Cluster = ClusterFleetConfig{
+		Enabled:  true,
+		Nodes:    3,
+		RingSeed: 0xC1,
+		KillNode: true,
+		// Kill early so most of the fleet crosses the node death.
+		KillAfterFraction: 0.25,
+		StoreRoot:         t.TempDir(),
+	}
+	rep, err := Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, l := range rep.Links {
+		if l.Failures != 0 {
+			t.Fatalf("link %s: %d clients failed across the node kill: %v", l.Link, l.Failures, l.Errors)
+		}
+	}
+	cr := rep.Cluster
+	if cr == nil {
+		t.Fatal("no cluster block in the report")
+	}
+	if err := rep.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if cr.ClusterBuilds != int64(len(cfg.Apps)) {
+		t.Fatalf("cluster-wide builds = %d for %d keys; prewarming should pin them equal", cr.ClusterBuilds, len(cfg.Apps))
+	}
+	if want := int64(len(cfg.Apps)) * int64(cfg.Cluster.Nodes-1); cr.PeerFills != want {
+		t.Fatalf("peer fills = %d, want %d (every non-owner fills each key once)", cr.PeerFills, want)
+	}
+	if cr.FallbackBuilds != 0 {
+		t.Fatalf("%d peer fills fell back to local builds in a prewarmed cluster", cr.FallbackBuilds)
+	}
+	if cr.KilledNode == "" || cr.ConnsKilled == 0 {
+		t.Fatalf("the kill did not land mid-stream: %+v", cr)
+	}
+	if cr.SuccessRate != 1 {
+		t.Fatalf("success rate across the node kill = %v, want 1", cr.SuccessRate)
+	}
+	if len(cr.PerNode) != 3 {
+		t.Fatalf("%d per-node blocks, want 3", len(cr.PerNode))
 	}
 }
 

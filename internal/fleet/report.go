@@ -2,8 +2,10 @@ package fleet
 
 import (
 	"encoding/json"
+	"fmt"
 	"sort"
 
+	"nonstrict/internal/cluster"
 	"nonstrict/internal/server"
 )
 
@@ -85,6 +87,38 @@ type RestartReport struct {
 	P99FirstInvocationMs float64 `json:"p99_first_invocation_ms"`
 }
 
+// ClusterReport is the cluster scenario's proof block. The headline
+// invariant is ClusterBuilds <= Keys: summed across every node, the
+// pipeline ran at most once per (app, order) key — everything else the
+// replicas served came from peer fills or their stores. Nodes, VNodes,
+// RingSeed, Keys, ClusterBuilds, PeerFills, FallbackBuilds, and
+// KilledNode are deterministic under prewarming; the kill timing,
+// router counters, and per-node traffic splits measure the actual run
+// and are zeroed by Canonical.
+type ClusterReport struct {
+	Nodes    int    `json:"nodes"`
+	VNodes   int    `json:"vnodes"`
+	RingSeed uint64 `json:"ring_seed"`
+	// Keys is the distinct (app, order) count the run exercised.
+	Keys          int   `json:"keys"`
+	ClusterBuilds int64 `json:"cluster_builds"`
+	PeerFills     int64 `json:"peer_fills"`
+	// FallbackBuilds counts peer fills that degraded to local builds
+	// (owner unreachable or transfer unverifiable); a healthy run holds
+	// it at zero.
+	FallbackBuilds int64 `json:"fallback_builds"`
+	// KilledNode through ConnsKilled describe the mid-run node crash,
+	// when the scenario included one.
+	KilledNode  string  `json:"killed_node,omitempty"`
+	KillAtMs    float64 `json:"kill_at_ms,omitempty"`
+	ConnsKilled int     `json:"conns_killed,omitempty"`
+	// SuccessRate is finished-and-succeeded over finished across the
+	// whole fleet — it must stay 1 through the kill.
+	SuccessRate float64             `json:"success_rate"`
+	Router      cluster.RouterStats `json:"router"`
+	PerNode     []cluster.NodeStats `json:"per_node"`
+}
+
 // Report is the BENCH_fleet.json document.
 type Report struct {
 	SchemaVersion string   `json:"schema"`
@@ -98,6 +132,37 @@ type Report struct {
 	Links      []LinkReport      `json:"links"`
 	Cache      server.CacheStats `json:"cache"`
 	Restart    *RestartReport    `json:"restart,omitempty"`
+	Cluster    *ClusterReport    `json:"cluster,omitempty"`
+}
+
+// Validate checks the report's build-count invariant, which depends on
+// the topology the run used. A single server prebuilds exactly one
+// artifact per app (failed builds excepted); a restart run splits that
+// across incarnations (all builds before the crash, none after); a
+// cluster run bounds the CLUSTER-WIDE build sum by the key count —
+// builds == app count would be wrong there, since N-1 nodes per key
+// peer-fill instead of building. Callers that used to assert
+// builds == len(apps) directly should use this instead.
+func (r *Report) Validate() error {
+	if c := r.Cluster; c != nil {
+		if c.ClusterBuilds > int64(c.Keys) {
+			return fmt.Errorf("fleet: cluster-wide builds %d exceed %d keys; peer fill did not deduplicate the pipeline", c.ClusterBuilds, c.Keys)
+		}
+		return nil
+	}
+	if rr := r.Restart; rr != nil {
+		if rr.PreBuilds != int64(len(r.Apps)) {
+			return fmt.Errorf("fleet: first incarnation built %d artifacts for %d apps", rr.PreBuilds, len(r.Apps))
+		}
+		if rr.PostBuilds != 0 {
+			return fmt.Errorf("fleet: restarted server rebuilt %d artifacts; the store should have served them all", rr.PostBuilds)
+		}
+		return nil
+	}
+	if got, want := r.Cache.Builds-r.Cache.BuildErrors, int64(len(r.Apps)); got != want {
+		return fmt.Errorf("fleet: %d successful builds for %d apps; clients leaked into the build path", got, want)
+	}
+	return nil
 }
 
 // Canonical returns a copy with every wall-clock-derived field zeroed,
@@ -123,6 +188,24 @@ func (r *Report) Canonical() *Report {
 		rr.KillAtMs, rr.ConnsKilled = 0, 0
 		rr.PostStoreHits, rr.P99FirstInvocationMs = 0, 0
 		c.Restart = &rr
+	}
+	if r.Cluster != nil {
+		cl := *r.Cluster
+		cl.KillAtMs, cl.ConnsKilled = 0, 0
+		cl.Router = cluster.RouterStats{}
+		// Per-node build/fill splits are deterministic under prewarming;
+		// per-node traffic is not. Keep the former, zero the latter.
+		cl.PerNode = append([]cluster.NodeStats(nil), r.Cluster.PerNode...)
+		for i := range cl.PerNode {
+			n := &cl.PerNode[i]
+			n.Cache = server.CacheStats{
+				Builds:      n.Cache.Builds,
+				PeerFills:   n.Cache.PeerFills,
+				BuildErrors: n.Cache.BuildErrors,
+				Entries:     n.Cache.Entries,
+			}
+		}
+		c.Cluster = &cl
 	}
 	return &c
 }

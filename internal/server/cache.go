@@ -46,6 +46,12 @@ type Artifact struct {
 	// BuildTime is how long the compile → predict → restructure →
 	// serialize pipeline took for this artifact.
 	BuildTime time.Duration
+	// PeerFilled marks an artifact whose bytes were transferred from a
+	// cluster peer instead of produced by the local build pipeline. The
+	// cache counts such flights under PeerFills, never Builds, so the
+	// cluster-wide "one pipeline build per key" invariant is checkable by
+	// summing Builds across nodes.
+	PeerFilled bool
 }
 
 // size is the artifact's accountable footprint against the cache budget.
@@ -67,8 +73,13 @@ type CacheStats struct {
 	// an in-flight build's waiters; one build can absorb many misses).
 	Misses int64 `json:"misses"`
 	// Builds is pipeline executions — the number the warm path must
-	// never advance.
+	// never advance. Cluster peer fills are NOT builds (see PeerFills):
+	// summing Builds across a cluster therefore counts pipeline runs, and
+	// the cluster invariant is that the sum never exceeds the key count.
 	Builds int64 `json:"builds"`
+	// PeerFills is misses satisfied by transferring the verified artifact
+	// from the owning cluster peer — no pipeline ran here.
+	PeerFills int64 `json:"peer_fills"`
 	// Evictions is artifacts dropped to fit the byte budget.
 	Evictions int64 `json:"evictions"`
 	// BuildErrors is builds that returned an error (or panicked) and so
@@ -136,6 +147,7 @@ type Cache struct {
 	breakers map[Key]*Breaker
 
 	hits, misses, builds, evictions atomic.Int64
+	peerFills                       atomic.Int64
 	buildErrors                     atomic.Int64
 	buildNanos                      atomic.Int64
 	shed                            atomic.Int64
@@ -315,7 +327,15 @@ func (c *Cache) runBuild(k Key, f *flight, br *Breaker) {
 		if r := recover(); r != nil {
 			f.art, f.err = nil, fmt.Errorf("server: building %s: build panicked: %v", k, r)
 		}
-		if !f.fromStore {
+		switch {
+		case f.fromStore:
+			// A store reload ran no pipeline and transferred no peer
+			// bytes; StoreHits already counted it.
+		case f.err == nil && f.art.PeerFilled:
+			// The artifact's bytes came from the owning peer: the
+			// pipeline ran over there (and was counted over there).
+			c.peerFills.Add(1)
+		default:
 			c.builds.Add(1)
 			c.buildNanos.Add(int64(time.Since(start)))
 			if f.err != nil {
@@ -406,6 +426,7 @@ func (c *Cache) Stats() CacheStats {
 		Hits:         c.hits.Load(),
 		Misses:       c.misses.Load(),
 		Builds:       c.builds.Load(),
+		PeerFills:    c.peerFills.Load(),
 		Evictions:    c.evictions.Load(),
 		BuildErrors:  c.buildErrors.Load(),
 		BuildSeconds: time.Duration(c.buildNanos.Load()).Seconds(),

@@ -82,6 +82,7 @@ func (m *Metrics) handler() http.Handler {
 		counter("nonstrict_cache_hits_total", "Requests answered from a resident artifact (zero pipeline work).", cs.Hits)
 		counter("nonstrict_cache_misses_total", "Requests that found no resident artifact.", cs.Misses)
 		counter("nonstrict_cache_builds_total", "Artifact pipeline executions (misses minus singleflight waiters).", cs.Builds)
+		counter("nonstrict_cache_peer_fills_total", "Artifacts transferred from a cluster peer instead of built locally.", cs.PeerFills)
 		counter("nonstrict_cache_evictions_total", "Artifacts evicted to fit the byte budget.", cs.Evictions)
 		counter("nonstrict_cache_build_errors_total", "Builds that failed (error or panic) and published no artifact.", cs.BuildErrors)
 		fmt.Fprintf(&b, "# HELP nonstrict_cache_build_seconds_total Wall-clock seconds spent building artifacts.\n# TYPE nonstrict_cache_build_seconds_total counter\nnonstrict_cache_build_seconds_total %g\n", cs.BuildSeconds)

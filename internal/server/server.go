@@ -80,6 +80,12 @@ type Config struct {
 	// Admit is the overload policy (see AdmitConfig); the zero value
 	// disables admission control.
 	Admit AdmitConfig
+	// Build, when non-nil, replaces the default artifact pipeline (the
+	// package-level Build) as the cache's miss path. Cluster nodes use it
+	// to peer-fill keys owned by another shard instead of rebuilding
+	// locally; everything downstream — singleflight, admission, store
+	// write-through — applies to the override exactly as to real builds.
+	Build func(ctx context.Context, k Key) (*Artifact, error)
 }
 
 // Server serves restructured virtual files for many apps from one
@@ -131,7 +137,11 @@ func New(c Config) (*Server, error) {
 		s.apps = append(s.apps, c.DefaultApp)
 		s.mounted[c.DefaultApp] = true
 	}
-	s.cache = NewCache(c.CacheBytes, Build)
+	build := Build
+	if c.Build != nil {
+		build = c.Build
+	}
+	s.cache = NewCache(c.CacheBytes, build)
 	s.cache.Admit = c.Admit
 	switch {
 	case c.Store != nil:
@@ -415,6 +425,42 @@ func Build(ctx context.Context, k Key) (*Artifact, error) {
 		TOCETag:   etagFor(toc),
 		Units:     w.Units(),
 		BuildTime: time.Since(start),
+	}, nil
+}
+
+// NewArtifact assembles a servable Artifact from raw stream and unit-
+// table bytes obtained outside the local build pipeline — the cluster
+// peer-fill path. Trust is re-established locally, not inherited from
+// the wire: the unit table must parse and describe in-bounds ranges,
+// and every unit's payload must match its table checksum, so a
+// truncated, corrupted, or substituted transfer can never be published
+// to clients or persisted to the store. The validators are re-derived
+// from the verified bytes; because builds are deterministic per key,
+// they equal the owner's ETags, which is what lets a client resume a
+// stream across nodes with If-Range.
+func NewArtifact(k Key, data, toc []byte) (*Artifact, error) {
+	units, err := stream.ParseTOC(toc)
+	if err != nil {
+		return nil, fmt.Errorf("server: artifact %s: %w", k, err)
+	}
+	for i, u := range units {
+		end := u.Off + int64(u.Len)
+		if u.Off < 0 || end > int64(len(data)) {
+			return nil, fmt.Errorf("server: artifact %s: unit %d range [%d,%d) outside %d stream bytes",
+				k, i, u.Off, end, len(data))
+		}
+		if got := stream.ChecksumPayload(data[u.Off:end]); got != u.CRC {
+			return nil, fmt.Errorf("server: artifact %s: unit %d checksum %08x, table promised %08x",
+				k, i, got, u.CRC)
+		}
+	}
+	return &Artifact{
+		Key:     k,
+		Data:    data,
+		TOC:     toc,
+		ETag:    etagFor(data),
+		TOCETag: etagFor(toc),
+		Units:   len(units),
 	}, nil
 }
 

@@ -206,15 +206,36 @@ func (e *retryAfterError) Unwrap() error { return e.err }
 // transfer for minutes.
 const maxRetryAfter = 30 * time.Second
 
-// parseRetryAfter reads an integer-seconds Retry-After value; 0 means
-// absent or unusable (HTTP-date forms are ignored — the servers this
-// client targets send delta-seconds).
-func parseRetryAfter(h string) time.Duration {
-	secs, err := strconv.Atoi(strings.TrimSpace(h))
-	if err != nil || secs < 0 {
+// parseRetryAfter reads a Retry-After value in either of its RFC 9110
+// forms — delta-seconds or an HTTP-date — as a delay relative to now.
+// The result is clamped to maxRetryAfter; 0 means absent or unusable
+// (including dates already in the past, which mean "retry now" and so
+// fall back to the client's own backoff schedule).
+func parseRetryAfter(h string, now time.Time) time.Duration {
+	h = strings.TrimSpace(h)
+	if h == "" {
 		return 0
 	}
-	return time.Duration(secs) * time.Second
+	if secs, err := strconv.Atoi(h); err == nil {
+		if secs <= 0 {
+			return 0
+		}
+		// Clamp before converting: a pathological delta-seconds can
+		// overflow time.Duration's int64 nanoseconds.
+		if secs > int(maxRetryAfter/time.Second) {
+			return maxRetryAfter
+		}
+		return time.Duration(secs) * time.Second
+	}
+	when, err := http.ParseTime(h)
+	if err != nil {
+		return 0
+	}
+	d := when.Sub(now)
+	if d <= 0 {
+		return 0
+	}
+	return min(d, maxRetryAfter)
 }
 
 // Open starts streaming url and returns a reader over its bytes. The
@@ -470,7 +491,7 @@ func (r *resumeReader) tryConnect() error {
 		if resp.StatusCode >= 400 && resp.StatusCode < 500 && resp.StatusCode != http.StatusTooManyRequests {
 			return &permanentError{err}
 		}
-		if after := parseRetryAfter(resp.Header.Get("Retry-After")); after > 0 {
+		if after := parseRetryAfter(resp.Header.Get("Retry-After"), time.Now()); after > 0 {
 			return &retryAfterError{after: after, err: err}
 		}
 		return err

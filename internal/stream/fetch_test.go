@@ -588,3 +588,78 @@ func TestFetchHonorsRetryAfter(t *testing.T) {
 		t.Fatalf("slept %v, want the server's 7s Retry-After hint first", slept)
 	}
 }
+
+// TestParseRetryAfter pins both RFC 9110 Retry-After forms. The header
+// can be delta-seconds or an HTTP-date; either way the result is a
+// delay clamped to maxRetryAfter, and anything unusable — garbage,
+// negatives, dates already in the past — yields 0 so the client falls
+// back to its own backoff schedule.
+func TestParseRetryAfter(t *testing.T) {
+	now := time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)
+	cases := []struct {
+		name string
+		h    string
+		want time.Duration
+	}{
+		{"delta-seconds", "7", 7 * time.Second},
+		{"delta-whitespace", "  7 ", 7 * time.Second},
+		{"delta-zero", "0", 0},
+		{"delta-negative", "-3", 0},
+		{"delta-clamped", "86400", maxRetryAfter},
+		// A delta large enough to overflow int64 nanoseconds must clamp,
+		// not wrap negative and vanish.
+		{"delta-overflow", "9223372036854775807", maxRetryAfter},
+		{"date-future", now.Add(10 * time.Second).UTC().Format(http.TimeFormat), 10 * time.Second},
+		{"date-clamped", now.Add(10 * time.Minute).UTC().Format(http.TimeFormat), maxRetryAfter},
+		{"date-past", now.Add(-10 * time.Second).UTC().Format(http.TimeFormat), 0},
+		// RFC 850 and ANSI C asctime are the obsolete-but-required date
+		// forms; net/http.ParseTime accepts both.
+		{"date-rfc850", "Saturday, 08-Aug-26 12:00:10 GMT", 10 * time.Second},
+		{"date-asctime", "Sat Aug  8 12:00:10 2026", 10 * time.Second},
+		{"garbage", "soon", 0},
+		{"empty", "", 0},
+		{"blank", "   ", 0},
+	}
+	for _, tc := range cases {
+		if got := parseRetryAfter(tc.h, now); got != tc.want {
+			t.Errorf("%s: parseRetryAfter(%q) = %v, want %v", tc.name, tc.h, got, tc.want)
+		}
+	}
+}
+
+// TestFetchHonorsRetryAfterDate is the end-to-end regression for the
+// HTTP-date form: a shedding server that speaks the date dialect used
+// to be ignored entirely (the client fell back to millisecond
+// exponential backoff and hammered it); now the hint is honored like
+// delta-seconds is.
+func TestFetchHonorsRetryAfterDate(t *testing.T) {
+	data := testPayload(1024)
+	var reqs atomic.Int64
+	mux := http.NewServeMux()
+	mux.HandleFunc("/app", func(w http.ResponseWriter, r *http.Request) {
+		if reqs.Add(1) == 1 {
+			w.Header().Set("Retry-After", time.Now().Add(20*time.Second).UTC().Format(http.TimeFormat))
+			http.Error(w, "overloaded", http.StatusServiceUnavailable)
+			return
+		}
+		http.ServeContent(w, r, "app.bin", time.Time{}, bytes.NewReader(data))
+	})
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	var slept []time.Duration
+	c := fastClient(1, &slept)
+	var got bytes.Buffer
+	if _, err := c.Fetch(context.Background(), srv.URL+"/app", &got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.Bytes(), data) {
+		t.Fatal("content mismatch after shed retry")
+	}
+	// The date is resolved against the clock at parse time, so allow
+	// the request's round trip; anything between 15s and 20s proves the
+	// hint was used (the default backoff base is 100ms).
+	if len(slept) == 0 || slept[0] < 15*time.Second || slept[0] > 20*time.Second {
+		t.Fatalf("slept %v, want roughly the server's 20s Retry-After date first", slept)
+	}
+}
